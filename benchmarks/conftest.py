@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (in a
+reduced, laptop-scale configuration), reports its runtime through
+pytest-benchmark and prints the reproduced rows so the output can be compared
+line by line with the publication.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_image():
+    """Synthetic test image shared by the JPEG / HEVC benchmarks."""
+    from repro.apps.images import synthetic_image
+
+    return synthetic_image(96, seed=2017)
+
+
+@pytest.fixture(scope="session")
+def bench_clouds():
+    """Clustering workloads shared by the K-means benchmarks."""
+    from repro.experiments import default_point_clouds
+
+    return default_point_clouds(runs=2, points_per_run=1200)
+
+
+@pytest.fixture(scope="session")
+def energy_model():
+    """One shared datapath energy model so operator syntheses are cached."""
+    from repro.core import DatapathEnergyModel
+
+    return DatapathEnergyModel(hardware_samples=600)

@@ -1,0 +1,24 @@
+"""Benchmark: extension ablations (compensation circuits, rounding modes)."""
+from bench_utils import run_once
+
+from repro.experiments import (
+    multiplier_compensation_ablation,
+    rounding_mode_ablation,
+)
+
+
+def test_bench_ablation_compensation(benchmark):
+    result = run_once(benchmark, multiplier_compensation_ablation,
+                      error_samples=20_000, hardware_samples=400)
+    print()
+    print(result.to_text())
+    rows = {row["variant"]: row for row in result.rows}
+    assert rows["AAM compensated"]["mse_db"] < rows["AAM pruned only"]["mse_db"]
+
+
+def test_bench_ablation_rounding_mode(benchmark):
+    result = run_once(benchmark, rounding_mode_ablation,
+                      error_samples=20_000, hardware_samples=400)
+    print()
+    print(result.to_text())
+    assert len(result.rows) == 15

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figures 3 and 4 (adder error vs cost scatter data)."""
+from bench_utils import run_once
+
+from repro.experiments import adder_error_cost_study
+
+
+def test_bench_fig3_fig4_adder_study(benchmark):
+    result = run_once(benchmark, adder_error_cost_study,
+                      error_samples=20_000, hardware_samples=400, reduced=True)
+    print()
+    print(result.to_text())
+    assert len(result.rows) >= 15
+    groups = {row["group"] for row in result.rows}
+    assert {"Fxp add. - trunc.", "Fxp add. - round.", "ACA", "ETAIV", "RCAApx"} <= groups

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 5 and Table II (FFT-32 accuracy vs energy)."""
+from bench_utils import run_once
+
+from repro.experiments import fft_adder_sweep, fft_multiplier_comparison
+
+
+def test_bench_fig5_fft_adder_sweep(benchmark, energy_model):
+    result = run_once(benchmark, fft_adder_sweep, reduced=True, frames=4,
+                      energy_model=energy_model)
+    print()
+    print(result.to_text())
+    assert len(result.rows) >= 10
+    assert any(row["adder"].startswith("ADDt") for row in result.rows)
+
+
+def test_bench_table2_fft_multipliers(benchmark, energy_model):
+    result = run_once(benchmark, fft_multiplier_comparison, frames=4,
+                      energy_model=energy_model)
+    print()
+    print(result.to_text())
+    mult = result.row_for("multiplier", "MULt(16,16)")
+    aam = result.row_for("multiplier", "AAM(16)")
+    abm = result.row_for("multiplier", "ABM(16)")
+    assert aam["total_energy_pj"] > mult["total_energy_pj"]
+    assert abm["psnr_db"] < 10.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 6 (JPEG encoding MSSIM vs DCT energy)."""
+from bench_utils import run_once
+
+from repro.experiments import jpeg_adder_sweep
+
+
+def test_bench_fig6_jpeg_adder_sweep(benchmark, bench_image, energy_model):
+    result = run_once(benchmark, jpeg_adder_sweep, image=bench_image,
+                      reduced=True, energy_model=energy_model)
+    print()
+    print(result.to_text())
+    assert len(result.rows) >= 8
+    fxp = [row for row in result.rows if row["adder"].startswith("ADDt")]
+    assert max(row["mssim"] for row in fxp) > 0.95

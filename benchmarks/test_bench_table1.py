@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table I (16-bit fixed-width multiplier comparison)."""
+from bench_utils import run_once
+
+from repro.experiments import multiplier_comparison
+
+
+def test_bench_table1_multipliers(benchmark):
+    result = run_once(benchmark, multiplier_comparison,
+                      error_samples=30_000, hardware_samples=600)
+    print()
+    print(result.to_text())
+    mult = result.row_for("operator", "MULt(16,16)")
+    aam = result.row_for("operator", "AAM(16)")
+    abm = result.row_for("operator", "ABM(16)")
+    # Paper shape: MULt most accurate and cheapest in energy; AAM close in MSE
+    # but costlier; ABM catastrophic in MSE with a similar BER.
+    assert mult["mse_db"] < -85.0
+    assert aam["pdp_pj"] > mult["pdp_pj"]
+    assert abm["mse_db"] > -20.0

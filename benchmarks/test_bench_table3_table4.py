@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Tables III and IV (HEVC MC filter accuracy / energy)."""
+from bench_utils import run_once
+
+from repro.experiments import hevc_adder_table, hevc_multiplier_table
+
+
+def test_bench_table3_hevc_adders(benchmark, bench_image, energy_model):
+    result = run_once(benchmark, hevc_adder_table, image=bench_image,
+                      energy_model=energy_model)
+    print()
+    print(result.to_text())
+    fxp = result.row_for("adder", "ADDt(16,10)")
+    for name in ("ACA(16,12)", "ETAIV(16,4)", "RCAApx(16,6,3)"):
+        assert result.row_for("adder", name)["total_energy_pj"] \
+            > fxp["total_energy_pj"]
+
+
+def test_bench_table4_hevc_multipliers(benchmark, bench_image, energy_model):
+    result = run_once(benchmark, hevc_multiplier_table, image=bench_image,
+                      energy_model=energy_model)
+    print()
+    print(result.to_text())
+    mult = result.row_for("multiplier", "MULt(16,16)")
+    aam = result.row_for("multiplier", "AAM(16)")
+    assert aam["total_energy_pj"] > mult["total_energy_pj"]
+    assert aam["mssim_percent"] > 99.0

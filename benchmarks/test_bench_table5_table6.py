@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Tables V and VI (K-means success rate / energy)."""
+from bench_utils import run_once
+
+from repro.experiments import kmeans_adder_table, kmeans_multiplier_table
+
+
+def test_bench_table5_kmeans_adders(benchmark, bench_clouds, energy_model):
+    result = run_once(benchmark, kmeans_adder_table, clouds=bench_clouds,
+                      iterations=6, energy_model=energy_model)
+    print()
+    print(result.to_text())
+    fxp = result.row_for("adder", "ADDt(16,11)")
+    assert fxp["success_rate_percent"] > 90.0
+    for name in ("ACA(16,12)", "ETAIV(16,4)", "RCAApx(16,6,3)"):
+        assert result.row_for("adder", name)["total_energy_pj"] \
+            > 1.5 * fxp["total_energy_pj"]
+
+
+def test_bench_table6_kmeans_multipliers(benchmark, bench_clouds, energy_model):
+    result = run_once(benchmark, kmeans_multiplier_table, clouds=bench_clouds,
+                      iterations=6, energy_model=energy_model)
+    print()
+    print(result.to_text())
+    mult = result.row_for("multiplier", "MULt(16,16)")
+    aam = result.row_for("multiplier", "AAM(16)")
+    severe = result.row_for("multiplier", "MULt(16,4)")
+    assert aam["total_energy_pj"] > mult["total_energy_pj"]
+    assert severe["success_rate_percent"] < mult["success_rate_percent"]

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Scenario: sizing the distance datapath of an embedded K-means classifier.
+
+Reproduces the reasoning of Tables V and VI: Gaussian point clouds are
+clustered with Lloyd's algorithm whose squared-distance computation runs on a
+chosen adder / multiplier pair, and the script reports the classification
+success rate against the exact run together with the distance-datapath
+energy.
+
+Run with::
+
+    python examples/kmeans_distance_sizing.py
+"""
+from repro.apps.kmeans import generate_point_cloud, kmeans_success_rate
+from repro.core import DatapathEnergyModel, minimal_multiplier_for, parse_operator
+
+ADDER_SPECS = ["ADDt(16,11)", "ADDt(16,8)", "ACA(16,12)", "ETAIV(16,4)",
+               "RCAApx(16,6,3)", "RCAApx(16,10,1)"]
+MULTIPLIER_SPECS = ["MULt(16,16)", "AAM(16)", "ABM(16)", "MULt(16,4)"]
+
+
+def main() -> None:
+    clouds = [generate_point_cloud(2500, 10, seed=seed) for seed in range(3)]
+    energy_model = DatapathEnergyModel(hardware_samples=600)
+
+    print("Distance computation with the adders swapped (Table V):")
+    print(f"{'adder':16s} {'success %':>10s} {'total energy pJ':>16s}")
+    for spec in ADDER_SPECS:
+        adder = parse_operator(spec)
+        rates, counts = [], None
+        for cloud in clouds:
+            rate, counts = kmeans_success_rate(cloud, adder=adder, iterations=8)
+            rates.append(rate)
+        energy = energy_model.application_energy_pj(
+            counts, adder, minimal_multiplier_for(adder))
+        print(f"{spec:16s} {100 * sum(rates) / len(rates):10.2f} "
+              f"{energy.total_energy_pj:16.1f}")
+
+    print()
+    print("Distance computation with the multipliers swapped (Table VI):")
+    print(f"{'multiplier':16s} {'success %':>10s} {'total energy pJ':>16s}")
+    exact_adder = parse_operator("ADD(16)")
+    for spec in MULTIPLIER_SPECS:
+        multiplier = parse_operator(spec)
+        rates, counts = [], None
+        for cloud in clouds:
+            rate, counts = kmeans_success_rate(cloud, multiplier=multiplier,
+                                               iterations=8)
+            rates.append(rate)
+        energy = energy_model.application_energy_pj(counts, exact_adder, multiplier)
+        print(f"{spec:16s} {100 * sum(rates) / len(rates):10.2f} "
+              f"{energy.total_energy_pj:16.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: characterise a few operators the way APXPERF does.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script characterises one data-sized adder, one approximate adder and the
+three fixed-width multipliers of Table I, printing the error metrics next to
+the hardware metrics so the accuracy/cost trade-off is visible at a glance.
+"""
+from repro import Apxperf
+
+OPERATORS = [
+    "ADDt(16,10)",    # careful data sizing: 16-bit adder truncated to 10 bits
+    "ADDr(16,10)",    # same with rounding
+    "ACA(16,8)",      # almost-correct adder, 8-bit carry speculation
+    "ETAIV(16,4)",    # error-tolerant adder, 4-bit blocks
+    "RCAApx(16,6,3)",  # approximate ripple-carry, 6 approximate LSBs, cell type 3
+    "MULt(16,16)",    # fixed-width truncated multiplier
+    "AAM(16)",        # approximate array multiplier
+    "ABM(16)",        # approximate Booth multiplier
+]
+
+
+def main() -> None:
+    harness = Apxperf(error_samples=50_000, hardware_samples=800)
+    header = (f"{'operator':16s} {'MSE (dB)':>9s} {'BER':>7s} {'power mW':>9s} "
+              f"{'delay ns':>9s} {'PDP pJ':>8s} {'area um2':>9s}")
+    print(header)
+    print("-" * len(header))
+    for spec in OPERATORS:
+        record = harness.characterize(spec, verify=False)
+        print(f"{record.operator:16s} {record.mse_db:9.1f} {record.ber:7.3f} "
+              f"{record.power_mw:9.4f} {record.delay_ns:9.2f} "
+              f"{record.pdp_pj:8.4f} {record.area_um2:9.1f}")
+
+    print()
+    print("Reading the table: for a comparable error level the data-sized")
+    print("operators (ADDt/ADDr, MULt) spend less energy per operation than the")
+    print("functionally approximate ones — the paper's headline observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Reproduction of *The Hidden Cost of Functional Approximation Against
+Careful Data Sizing — A Case Study* (Barrois, Sentieys, Ménard, DATE 2017).
+
+The package is organised as the paper's APXPERF framework:
+
+* :mod:`repro.fxp` — fixed-point formats and quantisation (careful data sizing);
+* :mod:`repro.operators` — bit-accurate accurate / truncated / rounded /
+  approximate adders and multipliers (ACA, ETAIV, RCAApx, AAM, ABM, ...);
+* :mod:`repro.hardware` — gate-level structural cost model (area, delay,
+  activity-based power) calibrated to the paper's 28nm reference points;
+* :mod:`repro.metrics` — MSE, BER, PSNR, MSSIM, clustering success rate and
+  the other error metrics;
+* :mod:`repro.core` — the characterisation harness, operator registry,
+  design-space sweeps and the datapath energy model (Equation 1);
+* :mod:`repro.apps` — the four instrumented applications (FFT, JPEG/DCT,
+  HEVC motion compensation, K-means);
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quick start::
+
+    from repro import Apxperf
+    result = Apxperf().characterize("ACA(16,8)")
+    print(result.mse_db, result.pdp_pj)
+"""
+from .core import (
+    Apxperf,
+    DatapathEnergyModel,
+    ExperimentResult,
+    OperatorCharacterization,
+    parse_operator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Apxperf",
+    "OperatorCharacterization",
+    "DatapathEnergyModel",
+    "ExperimentResult",
+    "parse_operator",
+    "__version__",
+]

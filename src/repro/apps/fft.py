@@ -1,0 +1,190 @@
+"""Instrumented fixed-point radix-2 FFT (the paper's first application).
+
+The transform operates on 16-bit two's-complement data (Q1.15) and routes
+every addition/subtraction and every twiddle multiplication through the
+operator models supplied by the caller, counting operations along the way so
+the datapath energy model (Equation 1) can charge them.  Per-stage scaling by
+1/2 keeps the butterflies overflow-free, which is the classical fixed-point
+FFT arrangement.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.datapath import OperationCounter, OperationCounts
+from ..fxp.quantize import wrap_to_width
+from ..operators.adders import ExactAdder
+from ..operators.base import AdderOperator, MultiplierOperator
+from ..operators.multipliers import TruncatedMultiplier
+
+
+@dataclass(frozen=True)
+class FftResult:
+    """Fixed-point FFT output with the operation inventory of the run."""
+
+    real: np.ndarray
+    imag: np.ndarray
+    counts: OperationCounts
+
+    def as_complex(self, frac_bits: int = 15) -> np.ndarray:
+        """Reassemble the output into complex floating-point values."""
+        scale = 2.0 ** (-frac_bits)
+        return (self.real.astype(np.float64) + 1j * self.imag.astype(np.float64)) * scale
+
+
+class FixedPointFFT:
+    """Radix-2 decimation-in-time FFT on 16-bit fixed-point data.
+
+    Parameters
+    ----------
+    size:
+        Transform length (a power of two; the paper uses 32).
+    data_width:
+        Word length of the datapath (16 bits in every experiment).
+    adder / multiplier:
+        Operator models executing the additions and twiddle multiplications.
+        ``None`` selects the accurate adder and the fixed-width truncated
+        multiplier, which is the exact fixed-point baseline.
+    """
+
+    def __init__(self, size: int = 32, data_width: int = 16,
+                 adder: Optional[AdderOperator] = None,
+                 multiplier: Optional[MultiplierOperator] = None) -> None:
+        if size < 2 or size & (size - 1) != 0:
+            raise ValueError("FFT size must be a power of two >= 2")
+        self.size = size
+        self.data_width = data_width
+        self.frac_bits = data_width - 1
+        self.adder = adder if adder is not None else ExactAdder(data_width)
+        self.multiplier = multiplier if multiplier is not None \
+            else TruncatedMultiplier(data_width, data_width)
+        self._twiddles = self._quantized_twiddles()
+
+    # ------------------------------------------------------------------ #
+    # Twiddle factors
+    # ------------------------------------------------------------------ #
+    def _quantized_twiddles(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Twiddle factors W_N^k quantised to the data word length."""
+        k = np.arange(self.size // 2)
+        angle = -2.0 * np.pi * k / self.size
+        scale = (1 << self.frac_bits) - 1
+        real = np.round(np.cos(angle) * scale).astype(np.int64)
+        imag = np.round(np.sin(angle) * scale).astype(np.int64)
+        return real, imag
+
+    # ------------------------------------------------------------------ #
+    # Instrumented arithmetic
+    # ------------------------------------------------------------------ #
+    def _add(self, a: np.ndarray, b: np.ndarray,
+             counter: OperationCounter) -> np.ndarray:
+        counter.count_additions(int(np.size(a)))
+        return np.asarray(self.adder.aligned(a, b), dtype=np.int64)
+
+    def _sub(self, a: np.ndarray, b: np.ndarray,
+             counter: OperationCounter) -> np.ndarray:
+        negated = np.asarray(
+            wrap_to_width(-np.asarray(b, dtype=np.int64), self.data_width),
+            dtype=np.int64)
+        counter.count_additions(int(np.size(a)))
+        return np.asarray(self.adder.aligned(a, negated), dtype=np.int64)
+
+    def _mul(self, a: np.ndarray, b: np.ndarray,
+             counter: OperationCounter) -> np.ndarray:
+        """Q1.15 x Q1.15 product re-aligned to Q1.15 (shift by frac_bits)."""
+        counter.count_multiplications(int(np.size(a)))
+        product = np.asarray(self.multiplier.aligned(a, b), dtype=np.int64)
+        result = product >> self.frac_bits
+        return np.asarray(wrap_to_width(result, self.data_width), dtype=np.int64)
+
+    @staticmethod
+    def _halve(value: np.ndarray) -> np.ndarray:
+        """Per-stage scaling by 1/2 (arithmetic shift, free in hardware)."""
+        return np.asarray(value, dtype=np.int64) >> 1
+
+    # ------------------------------------------------------------------ #
+    # Transform
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _bit_reverse_permutation(size: int) -> np.ndarray:
+        bits = int(math.log2(size))
+        indices = np.arange(size)
+        reversed_indices = np.zeros(size, dtype=np.int64)
+        for bit in range(bits):
+            reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+        return reversed_indices
+
+    def forward(self, real: np.ndarray, imag: Optional[np.ndarray] = None,
+                counter: Optional[OperationCounter] = None) -> FftResult:
+        """Run the transform on Q1.(data_width-1) integer codes."""
+        counter = counter if counter is not None else OperationCounter()
+        x_re = np.asarray(real, dtype=np.int64).copy()
+        x_im = np.zeros_like(x_re) if imag is None \
+            else np.asarray(imag, dtype=np.int64).copy()
+        if x_re.shape != (self.size,):
+            raise ValueError(f"expected {self.size} samples, got {x_re.shape}")
+
+        order = self._bit_reverse_permutation(self.size)
+        x_re, x_im = x_re[order], x_im[order]
+        tw_re, tw_im = self._twiddles
+
+        half = 1
+        while half < self.size:
+            step = self.size // (2 * half)
+            for offset in range(half):
+                # All butterflies sharing this twiddle, across every group,
+                # are evaluated in one vectorised call to the operator models.
+                tops = np.arange(offset, self.size, 2 * half, dtype=np.int64)
+                bottoms = tops + half
+                k = offset * step
+                w_re = np.full(tops.shape, tw_re[k], dtype=np.int64)
+                w_im = np.full(tops.shape, tw_im[k], dtype=np.int64)
+
+                # Pre-scale both branches to keep the butterfly in range.
+                a_re, a_im = self._halve(x_re[tops]), self._halve(x_im[tops])
+                b_re, b_im = self._halve(x_re[bottoms]), self._halve(x_im[bottoms])
+
+                # Complex twiddle multiplication (4 real mult, 2 real add).
+                prod_re = self._sub(self._mul(b_re, w_re, counter),
+                                    self._mul(b_im, w_im, counter), counter)
+                prod_im = self._add(self._mul(b_re, w_im, counter),
+                                    self._mul(b_im, w_re, counter), counter)
+
+                # Butterfly combine (4 real additions).
+                x_re[tops] = self._add(a_re, prod_re, counter)
+                x_im[tops] = self._add(a_im, prod_im, counter)
+                x_re[bottoms] = self._sub(a_re, prod_re, counter)
+                x_im[bottoms] = self._sub(a_im, prod_im, counter)
+            half *= 2
+
+        return FftResult(real=x_re, imag=x_im, counts=counter.snapshot())
+
+    # ------------------------------------------------------------------ #
+    # References
+    # ------------------------------------------------------------------ #
+    def reference_spectrum(self, real: np.ndarray,
+                           imag: Optional[np.ndarray] = None) -> np.ndarray:
+        """Double-precision FFT with the same 1/N scaling as the datapath."""
+        scale = 2.0 ** (-self.frac_bits)
+        x = np.asarray(real, dtype=np.float64) * scale
+        if imag is not None:
+            x = x + 1j * np.asarray(imag, dtype=np.float64) * scale
+        return np.fft.fft(x) / self.size
+
+    def operation_counts(self) -> OperationCounts:
+        """Operation inventory of one transform (independent of the data)."""
+        stages = int(math.log2(self.size))
+        butterflies = stages * self.size // 2
+        return OperationCounts(additions=6 * butterflies,
+                               multiplications=4 * butterflies)
+
+
+def random_q15_signal(size: int, amplitude: float = 0.5,
+                      seed: int = 7, frac_bits: int = 15) -> np.ndarray:
+    """Uniform random test signal as Q1.(frac_bits) integer codes."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-amplitude, amplitude, size=size)
+    return np.round(values * (1 << frac_bits)).astype(np.int64)

@@ -1,0 +1,160 @@
+"""Design-space sweeps and Pareto analysis.
+
+These helpers generate exactly the operator configuration sets swept in the
+paper — truncated/rounded adders from 15 down to 2 output bits, every ACA
+prediction depth, every ETAIV block size, every RCAApx (accurate-bits, cell
+type) pair — and extract accuracy-versus-cost Pareto fronts from the
+resulting characterisations.
+"""
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from ..operators.adders import (
+    ACAAdder,
+    ETAIIAdder,
+    ETAIVAdder,
+    RCAApxAdder,
+    RoundedAdder,
+    TruncatedAdder,
+)
+from ..operators.base import Operator
+from ..operators.multipliers import (
+    AAMMultiplier,
+    ABMMultiplier,
+    RoundedMultiplier,
+    TruncatedMultiplier,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Adder sweeps (Figures 3, 4 and 5/6 of the paper)
+# --------------------------------------------------------------------------- #
+def sweep_truncated_adders(input_width: int = 16,
+                           output_widths: Sequence[int] | None = None
+                           ) -> List[Operator]:
+    """``ADDt(N, k)`` for ``k`` from ``N - 1`` down to 2 (or a custom list)."""
+    if output_widths is None:
+        output_widths = range(input_width - 1, 1, -1)
+    return [TruncatedAdder(input_width, k) for k in output_widths]
+
+
+def sweep_rounded_adders(input_width: int = 16,
+                         output_widths: Sequence[int] | None = None
+                         ) -> List[Operator]:
+    """``ADDr(N, k)`` for ``k`` from ``N - 1`` down to 2 (or a custom list)."""
+    if output_widths is None:
+        output_widths = range(input_width - 1, 1, -1)
+    return [RoundedAdder(input_width, k) for k in output_widths]
+
+
+def sweep_aca_adders(input_width: int = 16,
+                     prediction_bits: Sequence[int] | None = None
+                     ) -> List[Operator]:
+    """``ACA(N, P)`` over every speculation depth."""
+    if prediction_bits is None:
+        prediction_bits = range(2, input_width)
+    return [ACAAdder(input_width, p) for p in prediction_bits]
+
+
+def sweep_etaiv_adders(input_width: int = 16,
+                       block_sizes: Sequence[int] | None = None
+                       ) -> List[Operator]:
+    """``ETAIV(N, X)`` for every block size dividing the operand width."""
+    if block_sizes is None:
+        block_sizes = [x for x in range(1, input_width) if input_width % x == 0]
+    return [ETAIVAdder(input_width, x) for x in block_sizes]
+
+
+def sweep_etaii_adders(input_width: int = 16,
+                       block_sizes: Sequence[int] | None = None
+                       ) -> List[Operator]:
+    """``ETAII(N, X)`` sweep (predecessor design, kept for comparison)."""
+    if block_sizes is None:
+        block_sizes = [x for x in range(1, input_width) if input_width % x == 0]
+    return [ETAIIAdder(input_width, x) for x in block_sizes]
+
+
+def sweep_rcaapx_adders(input_width: int = 16,
+                        approximate_lsbs: Sequence[int] | None = None,
+                        fa_types: Sequence[int] = (1, 2, 3)) -> List[Operator]:
+    """``RCAApx(N, M, type)`` over approximate-LSB counts and cell types."""
+    if approximate_lsbs is None:
+        approximate_lsbs = range(2, input_width)
+    return [RCAApxAdder(input_width, m, t) for t in fa_types for m in approximate_lsbs]
+
+
+def default_adder_sweep(input_width: int = 16) -> List[Operator]:
+    """The full 16-bit adder comparison set of Figures 3 and 4."""
+    operators: List[Operator] = []
+    operators.extend(sweep_truncated_adders(input_width))
+    operators.extend(sweep_rounded_adders(input_width))
+    operators.extend(sweep_aca_adders(input_width, range(2, input_width, 2)))
+    operators.extend(sweep_etaiv_adders(input_width))
+    operators.extend(sweep_rcaapx_adders(input_width, range(2, input_width, 2)))
+    return operators
+
+
+# --------------------------------------------------------------------------- #
+# Multiplier sets (Table I)
+# --------------------------------------------------------------------------- #
+def default_multiplier_set(input_width: int = 16) -> List[Operator]:
+    """The fixed-width multiplier comparison set of Table I."""
+    return [
+        TruncatedMultiplier(input_width, input_width),
+        AAMMultiplier(input_width),
+        ABMMultiplier(input_width),
+    ]
+
+
+def sweep_truncated_multipliers(input_width: int = 16,
+                                output_widths: Sequence[int] | None = None
+                                ) -> List[Operator]:
+    """``MULt(N, k)`` over output widths (2 to 2N as in the paper's sweep)."""
+    if output_widths is None:
+        output_widths = range(2, 2 * input_width + 1, 2)
+    return [TruncatedMultiplier(input_width, k) for k in output_widths]
+
+
+def sweep_rounded_multipliers(input_width: int = 16,
+                              output_widths: Sequence[int] | None = None
+                              ) -> List[Operator]:
+    """``MULr(N, k)`` over output widths."""
+    if output_widths is None:
+        output_widths = range(2, 2 * input_width + 1, 2)
+    return [RoundedMultiplier(input_width, k) for k in output_widths]
+
+
+# --------------------------------------------------------------------------- #
+# Pareto analysis
+# --------------------------------------------------------------------------- #
+def pareto_front(points: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Two-objective Pareto front assuming both objectives are minimised."""
+    items = sorted(points)
+    front: List[Tuple[float, float]] = []
+    best_second = float("inf")
+    for first, second in items:
+        if second < best_second:
+            front.append((first, second))
+            best_second = second
+    return front
+
+
+def pareto_filter(records: Sequence[object],
+                  objectives: Tuple[Callable[[object], float],
+                                    Callable[[object], float]]) -> List[object]:
+    """Keep only the records lying on the (min, min) Pareto front."""
+    first, second = objectives
+    decorated = sorted(records, key=lambda r: (first(r), second(r)))
+    front: List[object] = []
+    best_second = float("inf")
+    for record in decorated:
+        if second(record) < best_second:
+            front.append(record)
+            best_second = second(record)
+    return front
+
+
+def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """Whether point ``a`` Pareto-dominates point ``b`` (both minimised)."""
+    return (a[0] <= b[0] and a[1] <= b[1]) and (a[0] < b[0] or a[1] < b[1])

@@ -1,0 +1,105 @@
+"""Operator registry and factory.
+
+The experiments, examples and sweeps refer to operators by short
+specification strings identical to the paper's notation — ``"ADDt(16,10)"``,
+``"ACA(16,12)"``, ``"RCAApx(16,6,3)"``, ``"AAM(16)"`` — and this module turns
+those strings into configured operator instances.  New operator types can be
+registered, which is how a downstream user would plug their own approximate
+design into the framework.
+"""
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Sequence
+
+from ..operators.adders import (
+    ACAAdder,
+    ETAIIAdder,
+    ETAIVAdder,
+    ExactAdder,
+    RCAApxAdder,
+    RoundToNearestEvenAdder,
+    RoundedAdder,
+    TruncatedAdder,
+)
+from ..operators.base import Operator
+from ..operators.multipliers import (
+    AAMMultiplier,
+    ABMMultiplier,
+    BoothMultiplier,
+    ExactMultiplier,
+    RoundedMultiplier,
+    TruncatedMultiplier,
+)
+
+OperatorFactory = Callable[..., Operator]
+
+_REGISTRY: Dict[str, OperatorFactory] = {}
+
+
+def register_operator(mnemonic: str, factory: OperatorFactory) -> None:
+    """Register (or override) a factory under a mnemonic such as ``"ADDt"``."""
+    if not mnemonic:
+        raise ValueError("mnemonic must be a non-empty string")
+    _REGISTRY[mnemonic.lower()] = factory
+
+
+def registered_mnemonics() -> List[str]:
+    """Sorted list of known operator mnemonics."""
+    return sorted(_REGISTRY)
+
+
+def create_operator(mnemonic: str, *args: int, **kwargs: object) -> Operator:
+    """Instantiate an operator from its mnemonic and positional parameters."""
+    key = mnemonic.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown operator mnemonic {mnemonic!r}; "
+                       f"known: {', '.join(registered_mnemonics())}")
+    return _REGISTRY[key](*args, **kwargs)
+
+
+_SPEC_PATTERN = re.compile(r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*"
+                           r"(\(\s*(?P<args>[^)]*)\))?\s*$")
+
+
+def parse_operator(spec: str) -> Operator:
+    """Parse a paper-style specification string into an operator instance.
+
+    Examples: ``"ADDt(16,10)"``, ``"ACA(16,12)"``, ``"ETAIV(16,4)"``,
+    ``"RCAApx(16,6,3)"``, ``"MULt(16,16)"``, ``"AAM(16)"``, ``"ABM(16)"``.
+    """
+    match = _SPEC_PATTERN.match(spec)
+    if match is None:
+        raise ValueError(f"malformed operator specification {spec!r}")
+    name = match.group("name")
+    args_text = match.group("args") or ""
+    args: List[int] = []
+    for token in args_text.split(","):
+        token = token.strip()
+        if token:
+            args.append(int(token))
+    return create_operator(name, *args)
+
+
+def parse_operators(specs: Sequence[str]) -> List[Operator]:
+    """Parse several specification strings at once."""
+    return [parse_operator(spec) for spec in specs]
+
+
+# --------------------------------------------------------------------------- #
+# Built-in registrations (paper notation)
+# --------------------------------------------------------------------------- #
+register_operator("ADD", ExactAdder)
+register_operator("ADDt", TruncatedAdder)
+register_operator("ADDr", RoundedAdder)
+register_operator("ADDrne", RoundToNearestEvenAdder)
+register_operator("ACA", ACAAdder)
+register_operator("ETAII", ETAIIAdder)
+register_operator("ETAIV", ETAIVAdder)
+register_operator("RCAApx", RCAApxAdder)
+register_operator("MUL", ExactMultiplier)
+register_operator("MULt", TruncatedMultiplier)
+register_operator("MULr", RoundedMultiplier)
+register_operator("BOOTH", BoothMultiplier)
+register_operator("AAM", AAMMultiplier)
+register_operator("ABM", ABMMultiplier)

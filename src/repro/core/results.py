@@ -1,0 +1,152 @@
+"""Result containers, serialisation and paper-style table rendering.
+
+APXPERF stores its fused hardware + functional results as MAT files and
+ships MATLAB scripts to browse them; here the equivalent is a JSON document
+per experiment plus plain-text table rendering that mirrors the layout of the
+paper's tables, so a run of the benchmark harness can be compared line by
+line with the publication.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure: named rows/series of numeric values."""
+
+    experiment: str
+    description: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        """Append a row; every declared column must be present."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"missing columns {missing} in row for {self.experiment}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column across every row."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def row_for(self, key_column: str, key_value: object) -> Dict[str, object]:
+        """First row whose ``key_column`` equals ``key_value``."""
+        for row in self.rows:
+            if row.get(key_column) == key_value:
+                return row
+        raise KeyError(f"no row with {key_column} == {key_value!r}")
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "metadata": dict(self.metadata),
+        }
+
+    def save_json(self, path: Union[str, Path]) -> Path:
+        """Write the result as a JSON document and return the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2, default=_jsonify))
+        return target
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "ExperimentResult":
+        data = json.loads(Path(path).read_text())
+        result = cls(
+            experiment=data["experiment"],
+            description=data["description"],
+            columns=list(data["columns"]),
+            metadata=dict(data.get("metadata", {})),
+        )
+        for row in data.get("rows", []):
+            result.rows.append(dict(row))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def to_text(self, float_format: str = "{:.4g}") -> str:
+        """Render a fixed-width text table resembling the paper's layout."""
+        headers = list(self.columns)
+        formatted_rows: List[List[str]] = []
+        for row in self.rows:
+            formatted_rows.append([_format_cell(row[c], float_format) for c in headers])
+        widths = [len(h) for h in headers]
+        for cells in formatted_rows:
+            for i, cell in enumerate(cells):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.experiment + " — " + self.description]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+        for cells in formatted_rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+def _format_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def _jsonify(value: object) -> object:
+    """Best-effort conversion of NumPy scalars/arrays for JSON output."""
+    try:
+        import numpy as np
+
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    raise TypeError(f"cannot serialise {type(value).__name__}")
+
+
+@dataclass
+class ResultBundle:
+    """Collection of experiment results (e.g. the whole evaluation section)."""
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def add(self, result: ExperimentResult) -> None:
+        self.results[result.experiment] = result
+
+    def get(self, experiment: str) -> ExperimentResult:
+        return self.results[experiment]
+
+    def save_all(self, directory: Union[str, Path]) -> List[Path]:
+        """Save every result as ``<experiment>.json`` under ``directory``."""
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        return [result.save_json(base / f"{name}.json")
+                for name, result in sorted(self.results.items())]
+
+    def summary(self) -> str:
+        """Short multi-line listing of the bundled experiments."""
+        lines = []
+        for name in sorted(self.results):
+            result = self.results[name]
+            lines.append(f"{name}: {len(result.rows)} rows — {result.description}")
+        return "\n".join(lines)

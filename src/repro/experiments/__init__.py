@@ -1,0 +1,47 @@
+"""One module per reproduced table / figure of the paper, plus ablations."""
+from .ablations import multiplier_compensation_ablation, rounding_mode_ablation
+from .adders_study import adder_error_cost_study, default_figure_sweep
+from .fft_study import (
+    default_fft_adder_sweep,
+    fft_adder_sweep,
+    fft_multiplier_comparison,
+)
+from .hevc_study import (
+    TABLE3_ADDERS,
+    TABLE4_MULTIPLIERS,
+    hevc_adder_table,
+    hevc_multiplier_table,
+)
+from .jpeg_study import default_jpeg_adder_sweep, jpeg_adder_sweep
+from .kmeans_study import (
+    TABLE5_ADDERS,
+    TABLE6_MULTIPLIERS,
+    default_point_clouds,
+    kmeans_adder_table,
+    kmeans_multiplier_table,
+)
+from .multipliers_study import multiplier_comparison
+from .runner import run_all
+
+__all__ = [
+    "adder_error_cost_study",
+    "default_figure_sweep",
+    "multiplier_comparison",
+    "fft_adder_sweep",
+    "fft_multiplier_comparison",
+    "default_fft_adder_sweep",
+    "jpeg_adder_sweep",
+    "default_jpeg_adder_sweep",
+    "hevc_adder_table",
+    "hevc_multiplier_table",
+    "TABLE3_ADDERS",
+    "TABLE4_MULTIPLIERS",
+    "kmeans_adder_table",
+    "kmeans_multiplier_table",
+    "default_point_clouds",
+    "TABLE5_ADDERS",
+    "TABLE6_MULTIPLIERS",
+    "multiplier_compensation_ablation",
+    "rounding_mode_ablation",
+    "run_all",
+]

@@ -1,0 +1,88 @@
+"""Figure 6: JPEG encoding quality (MSSIM) versus DCT energy.
+
+The 8x8 DCT inside the JPEG encoder runs with each adder configuration; the
+quality axis is the MSSIM between the image encoded with the exact
+fixed-point DCT and the one encoded with the operator under test, the energy
+axis is the per-operation energy of the DCT datapath (Equation 1 applied to
+the DCT's additions and multiplications).
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..apps.images import synthetic_image
+from ..apps.jpeg import JpegEncoder
+from ..core.datapath import DatapathEnergyModel, minimal_multiplier_for
+from ..core.exploration import (
+    sweep_aca_adders,
+    sweep_etaiv_adders,
+    sweep_rcaapx_adders,
+    sweep_rounded_adders,
+    sweep_truncated_adders,
+)
+from ..core.results import ExperimentResult
+from ..metrics.image import mssim
+from ..operators.base import AdderOperator
+
+
+def default_jpeg_adder_sweep(input_width: int = 16,
+                             reduced: bool = False) -> List[AdderOperator]:
+    """Adder configurations of Figure 6."""
+    if reduced:
+        adders: List[AdderOperator] = []
+        adders.extend(sweep_truncated_adders(input_width, [15, 13, 11, 9]))
+        adders.extend(sweep_rounded_adders(input_width, [15, 13, 11, 9]))
+        adders.extend(sweep_aca_adders(input_width, [8, 14]))
+        adders.extend(sweep_etaiv_adders(input_width, [4, 8]))
+        adders.extend(sweep_rcaapx_adders(input_width, [4, 8], fa_types=(1, 3)))
+        return adders
+    adders = []
+    adders.extend(sweep_truncated_adders(input_width))
+    adders.extend(sweep_rounded_adders(input_width))
+    adders.extend(sweep_aca_adders(input_width))
+    adders.extend(sweep_etaiv_adders(input_width))
+    adders.extend(sweep_rcaapx_adders(input_width, range(2, input_width, 2)))
+    return adders
+
+
+def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
+                     input_width: int = 16,
+                     adders: Optional[Sequence[AdderOperator]] = None,
+                     image_size: int = 128, reduced: bool = False,
+                     energy_model: Optional[DatapathEnergyModel] = None
+                     ) -> ExperimentResult:
+    """Regenerate Figure 6 (DCT energy versus JPEG MSSIM, adders swept)."""
+    if image is None:
+        image = synthetic_image(image_size)
+    if adders is None:
+        adders = default_jpeg_adder_sweep(input_width, reduced=reduced)
+    if energy_model is None:
+        energy_model = DatapathEnergyModel()
+
+    reference = JpegEncoder(quality=quality).encode_decode(image)
+
+    result = ExperimentResult(
+        experiment="fig6_jpeg",
+        description=("JPEG encoding (quality 90): DCT datapath energy versus "
+                     "MSSIM with the adders swapped (Figure 6 of the paper)"),
+        columns=["adder", "multiplier", "mssim", "dct_energy_pj",
+                 "energy_per_mac_pj"],
+        metadata={"quality": quality, "image_pixels": int(image.size)},
+    )
+    for adder in adders:
+        multiplier = minimal_multiplier_for(adder)
+        encoder = JpegEncoder(quality=quality, adder=adder)
+        outcome = encoder.encode_decode(image)
+        score = mssim(reference.reconstructed, outcome.reconstructed)
+        energy = energy_model.application_energy_pj(outcome.counts, adder, multiplier)
+        macs = max(outcome.counts.additions, 1)
+        result.add_row(
+            adder=adder.name,
+            multiplier=multiplier.name,
+            mssim=score,
+            dct_energy_pj=energy.total_energy_pj,
+            energy_per_mac_pj=energy.total_energy_pj / macs,
+        )
+    return result

@@ -1,0 +1,138 @@
+"""Tables V and VI: K-means clustering success rate and distance-datapath energy.
+
+Table V swaps the *adders* of the distance computation, at two accuracy
+levels (the ~99 % group and the ~86 % group of the paper); Table VI swaps the
+fixed-width *multipliers*.  The success rate is measured against the exact
+fixed-point run started from the same initial centroids, averaged over
+several generated point clouds (the paper uses 5 sets of 5000 points around
+10 random centres).
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps.kmeans import PointCloud, generate_point_cloud, kmeans_success_rate
+from ..core.datapath import DatapathEnergyModel, minimal_multiplier_for
+from ..core.results import ExperimentResult
+from ..operators.adders import (
+    ACAAdder,
+    ETAIVAdder,
+    ExactAdder,
+    RCAApxAdder,
+    TruncatedAdder,
+)
+from ..operators.base import AdderOperator, MultiplierOperator
+from ..operators.multipliers import AAMMultiplier, ABMMultiplier, TruncatedMultiplier
+
+#: Adder configurations of Table V (high-accuracy group then low-accuracy group).
+TABLE5_ADDERS = (
+    TruncatedAdder(16, 11),
+    ACAAdder(16, 12),
+    ETAIVAdder(16, 4),
+    RCAApxAdder(16, 6, 3),
+    TruncatedAdder(16, 8),
+    ACAAdder(16, 8),
+    ETAIVAdder(16, 2),
+    RCAApxAdder(16, 10, 1),
+)
+
+#: Multiplier configurations of Table VI.
+TABLE6_MULTIPLIERS = (
+    TruncatedMultiplier(16, 16),
+    AAMMultiplier(16),
+    ABMMultiplier(16),
+    TruncatedMultiplier(16, 4),
+)
+
+
+def default_point_clouds(runs: int = 5, points_per_run: int = 5000,
+                         clusters: int = 10) -> List[PointCloud]:
+    """The paper's workload: five Gaussian point clouds of 5000 points."""
+    return [generate_point_cloud(points_per_run, clusters, seed=seed)
+            for seed in range(runs)]
+
+
+def _average_success(clouds: Sequence[PointCloud],
+                     adder: Optional[AdderOperator] = None,
+                     multiplier: Optional[MultiplierOperator] = None,
+                     iterations: int = 8) -> Tuple[float, "np.ndarray"]:
+    rates = []
+    counts = None
+    for cloud in clouds:
+        rate, run_counts = kmeans_success_rate(cloud, adder=adder,
+                                               multiplier=multiplier,
+                                               iterations=iterations)
+        rates.append(rate)
+        counts = run_counts
+    return float(np.mean(rates)), counts
+
+
+def kmeans_adder_table(clouds: Optional[Sequence[PointCloud]] = None,
+                       adders: Sequence[AdderOperator] = TABLE5_ADDERS,
+                       runs: int = 3, points_per_run: int = 2000,
+                       iterations: int = 8,
+                       energy_model: Optional[DatapathEnergyModel] = None
+                       ) -> ExperimentResult:
+    """Regenerate Table V (distance computation with the adders swapped)."""
+    if clouds is None:
+        clouds = default_point_clouds(runs, points_per_run)
+    if energy_model is None:
+        energy_model = DatapathEnergyModel()
+
+    result = ExperimentResult(
+        experiment="table5_kmeans_adders",
+        description=("K-means distance computation with 16-bit adders swapped: "
+                     "success rate and energy (Table V of the paper)"),
+        columns=["adder", "success_rate_percent", "adder_energy_pj",
+                 "mult_energy_pj", "total_energy_pj"],
+        metadata={"runs": len(clouds), "points_per_run": int(clouds[0].points.shape[0])},
+    )
+    for adder in adders:
+        rate, counts = _average_success(clouds, adder=adder, iterations=iterations)
+        multiplier = minimal_multiplier_for(adder)
+        energy = energy_model.application_energy_pj(counts, adder, multiplier)
+        result.add_row(
+            adder=adder.name,
+            success_rate_percent=rate * 100.0,
+            adder_energy_pj=energy_model.energy_per_addition_pj(adder),
+            mult_energy_pj=energy_model.energy_per_multiplication_pj(multiplier),
+            total_energy_pj=energy.total_energy_pj,
+        )
+    return result
+
+
+def kmeans_multiplier_table(clouds: Optional[Sequence[PointCloud]] = None,
+                            multipliers: Sequence[MultiplierOperator] = TABLE6_MULTIPLIERS,
+                            runs: int = 3, points_per_run: int = 2000,
+                            iterations: int = 8,
+                            energy_model: Optional[DatapathEnergyModel] = None
+                            ) -> ExperimentResult:
+    """Regenerate Table VI (distance computation with the multipliers swapped)."""
+    if clouds is None:
+        clouds = default_point_clouds(runs, points_per_run)
+    if energy_model is None:
+        energy_model = DatapathEnergyModel()
+    adder = ExactAdder(16)
+
+    result = ExperimentResult(
+        experiment="table6_kmeans_multipliers",
+        description=("K-means distance computation with 16-bit multipliers swapped: "
+                     "success rate and energy (Table VI of the paper)"),
+        columns=["multiplier", "success_rate_percent", "mult_energy_pj",
+                 "adder_energy_pj", "total_energy_pj"],
+        metadata={"runs": len(clouds), "points_per_run": int(clouds[0].points.shape[0])},
+    )
+    for multiplier in multipliers:
+        rate, counts = _average_success(clouds, multiplier=multiplier,
+                                        iterations=iterations)
+        energy = energy_model.application_energy_pj(counts, adder, multiplier)
+        result.add_row(
+            multiplier=multiplier.name,
+            success_rate_percent=rate * 100.0,
+            mult_energy_pj=energy_model.energy_per_multiplication_pj(multiplier),
+            adder_energy_pj=energy_model.energy_per_addition_pj(adder),
+            total_energy_pj=energy.total_energy_pj,
+        )
+    return result

@@ -1,0 +1,63 @@
+"""Run every reproduced experiment and collect the results.
+
+``run_all`` regenerates each table and figure of the paper's evaluation
+section (plus the extension ablations) and returns a
+:class:`~repro.core.results.ResultBundle`; with an output directory it also
+writes one JSON file per experiment.  The ``reduced`` flag trades sweep
+density and workload size for runtime and is what the benchmark harness and
+the continuous tests use.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.datapath import DatapathEnergyModel
+from ..core.results import ResultBundle
+from .ablations import multiplier_compensation_ablation, rounding_mode_ablation
+from .adders_study import adder_error_cost_study
+from .fft_study import fft_adder_sweep, fft_multiplier_comparison
+from .hevc_study import hevc_adder_table, hevc_multiplier_table
+from .jpeg_study import jpeg_adder_sweep
+from .kmeans_study import kmeans_adder_table, kmeans_multiplier_table
+from .multipliers_study import multiplier_comparison
+
+
+def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
+            include_ablations: bool = True) -> ResultBundle:
+    """Regenerate every table and figure of the paper.
+
+    ``reduced=True`` (default) runs the laptop-scale configuration: thinner
+    operator sweeps, smaller images and point clouds.  ``reduced=False`` runs
+    the full sweeps, which takes substantially longer but follows the paper's
+    configuration as closely as the substituted substrate allows.
+    """
+    bundle = ResultBundle()
+    energy_model = DatapathEnergyModel()
+
+    error_samples = 30_000 if reduced else 200_000
+    image_size = 96 if reduced else 256
+    kmeans_runs = 2 if reduced else 5
+    kmeans_points = 1500 if reduced else 5000
+
+    bundle.add(adder_error_cost_study(error_samples=error_samples, reduced=reduced))
+    bundle.add(multiplier_comparison(error_samples=error_samples))
+    bundle.add(fft_adder_sweep(reduced=reduced, energy_model=energy_model,
+                               frames=4 if reduced else 16))
+    bundle.add(fft_multiplier_comparison(energy_model=energy_model,
+                                         frames=4 if reduced else 16))
+    bundle.add(jpeg_adder_sweep(image_size=image_size, reduced=reduced,
+                                energy_model=energy_model))
+    bundle.add(hevc_adder_table(image_size=image_size, energy_model=energy_model))
+    bundle.add(hevc_multiplier_table(image_size=image_size, energy_model=energy_model))
+    bundle.add(kmeans_adder_table(runs=kmeans_runs, points_per_run=kmeans_points,
+                                  energy_model=energy_model))
+    bundle.add(kmeans_multiplier_table(runs=kmeans_runs, points_per_run=kmeans_points,
+                                       energy_model=energy_model))
+    if include_ablations:
+        bundle.add(multiplier_compensation_ablation(error_samples=error_samples))
+        bundle.add(rounding_mode_ablation(error_samples=error_samples))
+
+    if output_dir is not None:
+        bundle.save_all(output_dir)
+    return bundle

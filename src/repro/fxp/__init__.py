@@ -1,0 +1,55 @@
+"""Fixed-point arithmetic substrate.
+
+This package implements the "careful data sizing" side of the paper's
+comparison: fixed-point formats, quantisation by truncation or rounding,
+conversion between real values and integer codes, and the analytical
+quantisation-noise model used to validate measured errors.
+"""
+from .converter import (
+    format_for,
+    quantization_error,
+    requantize,
+    required_integer_bits,
+    to_fixed,
+    to_float,
+)
+from .format import Q15, Q30, FxpFormat
+from .noise import QuantizationNoiseModel, predicted_mse_db
+from .quantize import (
+    OverflowMode,
+    RoundingMode,
+    drop_lsbs,
+    fit_to_width,
+    quantize,
+    restore_lsbs,
+    round_lsbs,
+    round_lsbs_to_even,
+    saturate_to_width,
+    truncate_lsbs,
+    wrap_to_width,
+)
+
+__all__ = [
+    "FxpFormat",
+    "Q15",
+    "Q30",
+    "RoundingMode",
+    "OverflowMode",
+    "truncate_lsbs",
+    "round_lsbs",
+    "round_lsbs_to_even",
+    "drop_lsbs",
+    "restore_lsbs",
+    "wrap_to_width",
+    "saturate_to_width",
+    "fit_to_width",
+    "quantize",
+    "to_fixed",
+    "to_float",
+    "quantization_error",
+    "required_integer_bits",
+    "format_for",
+    "requantize",
+    "QuantizationNoiseModel",
+    "predicted_mse_db",
+]

@@ -1,0 +1,115 @@
+"""Conversion between real (floating-point) values and fixed-point codes.
+
+The fixed-point conversion process described in Section II-A of the paper has
+two steps: determine the dynamic range to allocate integer bits (no overflow),
+then choose the fractional bit-width for the accuracy target.  This module
+provides both the per-value conversion primitives and the range-analysis
+helper used by the application kernels.
+"""
+from __future__ import annotations
+
+import math
+from typing import Iterable, Union
+
+import numpy as np
+
+from .format import FxpFormat
+from .quantize import OverflowMode, RoundingMode, fit_to_width
+
+FloatLike = Union[float, np.ndarray]
+IntLike = Union[int, np.ndarray]
+
+
+def to_fixed(value: FloatLike, fmt: FxpFormat,
+             mode: RoundingMode = RoundingMode.ROUND,
+             overflow: OverflowMode = OverflowMode.SATURATE) -> IntLike:
+    """Convert real value(s) to integer codes in the given format."""
+    scaled = np.asarray(value, dtype=np.float64) * (1 << fmt.frac_bits)
+    if mode is RoundingMode.TRUNCATE:
+        codes = np.floor(scaled)
+    elif mode is RoundingMode.ROUND:
+        codes = np.floor(scaled + 0.5)
+    elif mode is RoundingMode.ROUND_TO_NEAREST_EVEN:
+        codes = np.rint(scaled)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unsupported rounding mode {mode}")
+    codes = codes.astype(np.int64)
+    fitted = fit_to_width(codes, fmt.word_length, fmt.signed, overflow)
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return int(np.asarray(fitted))
+    return np.asarray(fitted)
+
+
+def to_float(code: IntLike, fmt: FxpFormat) -> FloatLike:
+    """Convert integer code(s) back to real values."""
+    result = np.asarray(code, dtype=np.float64) * fmt.scale
+    if np.isscalar(code) or np.ndim(code) == 0:
+        return float(result)
+    return result
+
+
+def quantization_error(value: FloatLike, fmt: FxpFormat,
+                       mode: RoundingMode = RoundingMode.ROUND) -> FloatLike:
+    """Error introduced by converting ``value`` to the format and back."""
+    code = to_fixed(value, fmt, mode=mode)
+    reconstructed = to_float(code, fmt)
+    return np.asarray(value, dtype=np.float64) - reconstructed
+
+
+def required_integer_bits(values: Iterable[float] | np.ndarray) -> int:
+    """Minimal number of integer bits ``m`` so no value overflows.
+
+    This is the first step of the fixed-point conversion: range analysis.
+    The sign bit is not counted in ``m``.
+    """
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                     dtype=np.float64)
+    if arr.size == 0:
+        return 0
+    peak = float(np.max(np.abs(arr)))
+    if peak == 0.0:
+        return 0
+    # A signed format with m integer bits covers [-2**m, 2**m).  The +1 LSB
+    # slack on the positive side is ignored, which is the conservative choice.
+    return max(0, int(math.ceil(math.log2(peak + np.finfo(np.float64).eps))))
+
+
+def format_for(values: Iterable[float] | np.ndarray, word_length: int,
+               signed: bool = True) -> FxpFormat:
+    """Choose the format for a word length given the observed value range.
+
+    The integer part is sized so no overflow occurs; every remaining bit goes
+    to the fractional part (accuracy), mirroring the sizing procedure of
+    Section II-A.
+    """
+    m = required_integer_bits(values)
+    sign = 1 if signed else 0
+    frac = word_length - m - sign
+    if frac < 0:
+        raise ValueError(
+            f"word length {word_length} too small for dynamic range (needs {m} integer bits)"
+        )
+    return FxpFormat(integer_bits=m, frac_bits=frac, signed=signed)
+
+
+def requantize(code: IntLike, src: FxpFormat, dst: FxpFormat,
+               mode: RoundingMode = RoundingMode.TRUNCATE,
+               overflow: OverflowMode = OverflowMode.WRAP) -> IntLike:
+    """Convert integer codes from one format to another.
+
+    Shifts align the binary points; LSB elimination uses the requested
+    rounding mode and the destination width is enforced with the requested
+    overflow mode.
+    """
+    shift = src.frac_bits - dst.frac_bits
+    arr = np.asarray(code, dtype=np.int64)
+    if shift > 0:
+        from .quantize import drop_lsbs
+
+        arr = np.asarray(drop_lsbs(arr, shift, mode), dtype=np.int64)
+    elif shift < 0:
+        arr = arr << (-shift)
+    fitted = fit_to_width(arr, dst.word_length, dst.signed, overflow)
+    if np.isscalar(code) or np.ndim(code) == 0:
+        return int(np.asarray(fitted))
+    return np.asarray(fitted)

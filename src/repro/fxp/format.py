@@ -1,0 +1,168 @@
+"""Fixed-point format descriptors.
+
+A fixed-point (FxP) format describes how an ``N``-bit signed integer is
+interpreted as a fractional real number.  Following the paper's notation, a
+real value ``x`` is approximated by an integer ``X`` scaled by a power of two:
+
+    x_hat = X * 2**(-n)
+
+where ``n`` is the number of fractional bits.  The total word length is
+``N = m + n`` for an unsigned format and ``N = 1 + m + n`` when a sign bit is
+present (the paper always uses signed two's-complement data, e.g. Q1.15 for
+16-bit signals).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FxpFormat:
+    """A signed two's-complement fixed-point format.
+
+    Parameters
+    ----------
+    integer_bits:
+        Number of bits ``m`` allocated to the integer part (excluding the sign
+        bit).  ``m = 0`` gives the classical Q1.n "fractional" format whose
+        values lie in ``[-1, 1)``.
+    frac_bits:
+        Number of bits ``n`` allocated to the fractional part.
+    signed:
+        Whether a sign bit is present.  The paper exclusively uses signed
+        formats; unsigned support is provided for completeness of the
+        framework.
+    """
+
+    integer_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0:
+            raise ValueError("integer_bits must be non-negative")
+        if self.frac_bits < 0:
+            raise ValueError("frac_bits must be non-negative")
+        if self.word_length <= 0:
+            raise ValueError("format must contain at least one bit")
+
+    # ------------------------------------------------------------------ #
+    # Derived characteristics
+    # ------------------------------------------------------------------ #
+    @property
+    def word_length(self) -> int:
+        """Total number of bits ``N`` of the format."""
+        return self.integer_bits + self.frac_bits + (1 if self.signed else 0)
+
+    @property
+    def scale(self) -> float:
+        """Weight of one LSB, i.e. ``2**-frac_bits``."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def min_int(self) -> int:
+        """Smallest representable integer code."""
+        if self.signed:
+            return -(1 << (self.word_length - 1))
+        return 0
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable integer code."""
+        if self.signed:
+            return (1 << (self.word_length - 1)) - 1
+        return (1 << self.word_length) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_int * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_int * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Alias for :attr:`scale` (quantisation step)."""
+        return self.scale
+
+    @property
+    def dynamic_range_db(self) -> float:
+        """Dynamic range in dB: ratio of full scale to one LSB."""
+        import math
+
+        return 20.0 * math.log10(float(self.max_int - self.min_int) or 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def q(cls, integer_bits: int, frac_bits: int) -> "FxpFormat":
+        """Build a signed Qm.n format (sign bit implied).
+
+        ``FxpFormat.q(1, 15)`` is the classical 16-bit "Q1.15" audio/DSP
+        format used throughout the paper; note that in this Q-notation the
+        sign bit is counted inside the integer field, so the constructor
+        subtracts it.
+        """
+        if integer_bits < 1:
+            raise ValueError("Q notation requires at least the sign bit")
+        return cls(integer_bits=integer_bits - 1, frac_bits=frac_bits, signed=True)
+
+    @classmethod
+    def for_word_length(cls, word_length: int, frac_bits: int | None = None,
+                        signed: bool = True) -> "FxpFormat":
+        """Build a format from a total word length.
+
+        By default the value is treated as a pure fraction (all non-sign bits
+        fractional), which matches how the paper normalises 16-bit data to
+        ``[-1, 1)`` when computing MSE in dB.
+        """
+        sign = 1 if signed else 0
+        if frac_bits is None:
+            frac_bits = word_length - sign
+        integer_bits = word_length - frac_bits - sign
+        if integer_bits < 0:
+            raise ValueError("frac_bits larger than the word length allows")
+        return cls(integer_bits=integer_bits, frac_bits=frac_bits, signed=signed)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def with_frac_bits(self, frac_bits: int) -> "FxpFormat":
+        """Return a copy with a different fractional bit-width."""
+        return FxpFormat(self.integer_bits, frac_bits, self.signed)
+
+    def drop_lsbs(self, count: int) -> "FxpFormat":
+        """Return the format obtained after dropping ``count`` LSBs.
+
+        Dropping LSBs removes fractional bits first, then integer bits (the
+        latter would normally be avoided in a real design because it changes
+        the dynamic range, but the operator sweeps in the paper go all the way
+        down to 2-bit outputs).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count >= self.word_length:
+            raise ValueError("cannot drop every bit of the format")
+        new_frac = max(self.frac_bits - count, 0)
+        remaining = count - (self.frac_bits - new_frac)
+        new_int = self.integer_bits - remaining
+        return FxpFormat(new_int, new_frac, self.signed)
+
+    def can_represent(self, value: float) -> bool:
+        """Whether ``value`` lies inside the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        sign = "s" if self.signed else "u"
+        return f"FxP({sign}{self.word_length}, m={self.integer_bits}, n={self.frac_bits})"
+
+
+#: The 16-bit fractional format (Q1.15) used for every experiment in the paper.
+Q15 = FxpFormat.q(1, 15)
+
+#: The 32-bit product format of a Q1.15 x Q1.15 multiplication (Q2.30).
+Q30 = FxpFormat.q(2, 30)

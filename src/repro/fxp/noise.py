@@ -1,0 +1,98 @@
+"""Analytical quantisation-noise model (Widrow's statistical theory).
+
+The paper models the error introduced by dropping fractional bits as a
+uniformly-distributed white noise (reference [3], Widrow et al.).  This module
+provides the closed-form moments of that model so the measured error metrics
+of the truncated/rounded operators can be checked against theory — both in the
+test-suite and when sanity-checking experiment outputs.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .quantize import RoundingMode
+
+
+@dataclass(frozen=True)
+class QuantizationNoiseModel:
+    """Closed-form statistics of uniform quantisation noise.
+
+    Parameters
+    ----------
+    dropped_bits:
+        Number of eliminated LSBs ``k``.
+    lsb_weight:
+        Real weight of one *original* LSB (``2**-n`` for an n-fractional-bit
+        signal).  The quantisation step is ``q = lsb_weight * 2**k``.
+    mode:
+        Truncation has a non-zero mean (bias ``-q/2 + lsb/2``); rounding is
+        unbiased to first order.
+    """
+
+    dropped_bits: int
+    lsb_weight: float = 1.0
+    mode: RoundingMode = RoundingMode.TRUNCATE
+
+    @property
+    def step(self) -> float:
+        """Quantisation step ``q`` after dropping the LSBs."""
+        return self.lsb_weight * (2.0 ** self.dropped_bits)
+
+    @property
+    def mean(self) -> float:
+        """Expected error ``E[e]`` with ``e = x - x_hat``.
+
+        For truncation of a two's complement value the retained code is the
+        floor, so the discarded amount lies in ``[0, q - lsb]`` and the bias is
+        ``(q - lsb) / 2``.  For round-half-up the bias is ``-lsb/2`` (the tie
+        is always pushed up); round-to-nearest-even is unbiased.
+        """
+        if self.dropped_bits == 0:
+            return 0.0
+        if self.mode is RoundingMode.TRUNCATE:
+            return (self.step - self.lsb_weight) / 2.0
+        if self.mode is RoundingMode.ROUND:
+            return -self.lsb_weight / 2.0
+        return 0.0
+
+    @property
+    def variance(self) -> float:
+        """Error variance of the discrete uniform error distribution.
+
+        Dropping ``k`` bits leaves a discrete uniform error over ``2**k``
+        levels spaced by one LSB, whose variance is
+        ``lsb**2 * (2**(2k) - 1) / 12``.
+        """
+        if self.dropped_bits == 0:
+            return 0.0
+        levels = 2.0 ** self.dropped_bits
+        return (self.lsb_weight ** 2) * (levels ** 2 - 1.0) / 12.0
+
+    @property
+    def mse(self) -> float:
+        """Mean squared error ``E[e**2] = var + mean**2``."""
+        return self.variance + self.mean ** 2
+
+    @property
+    def mse_db(self) -> float:
+        """MSE expressed in dB (``10 log10``), ``-inf`` for exact."""
+        if self.mse == 0.0:
+            return float("-inf")
+        return 10.0 * math.log10(self.mse)
+
+    def snr_db(self, signal_power: float) -> float:
+        """Signal-to-quantisation-noise ratio for a given signal power."""
+        if self.mse == 0.0:
+            return float("inf")
+        if signal_power <= 0.0:
+            raise ValueError("signal power must be positive")
+        return 10.0 * math.log10(signal_power / self.mse)
+
+
+def predicted_mse_db(dropped_bits: int, frac_bits: int,
+                     mode: RoundingMode = RoundingMode.TRUNCATE) -> float:
+    """MSE (dB, full-scale-normalised) predicted for dropping LSBs of a Q1.n signal."""
+    model = QuantizationNoiseModel(dropped_bits=dropped_bits,
+                                   lsb_weight=2.0 ** (-frac_bits), mode=mode)
+    return model.mse_db

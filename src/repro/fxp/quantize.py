@@ -1,0 +1,182 @@
+"""Quantisation primitives: bit dropping by truncation or rounding.
+
+These functions operate on integer codes (NumPy arrays or Python ints) and are
+the bit-accurate building blocks of the fixed-point operators.  The dropped
+LSBs are what saves hardware: a ``(16, 10)`` truncated adder really is a
+10-bit adder fed with inputs whose 6 LSBs were removed.
+"""
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+import numpy as np
+
+IntLike = Union[int, np.ndarray]
+
+
+class RoundingMode(Enum):
+    """Supported quantisation (LSB elimination) modes."""
+
+    TRUNCATE = "truncate"
+    ROUND = "round"
+    ROUND_TO_NEAREST_EVEN = "rne"
+
+    @classmethod
+    def from_string(cls, name: str) -> "RoundingMode":
+        name = name.strip().lower()
+        aliases = {
+            "trunc": cls.TRUNCATE,
+            "truncate": cls.TRUNCATE,
+            "truncation": cls.TRUNCATE,
+            "floor": cls.TRUNCATE,
+            "round": cls.ROUND,
+            "rounding": cls.ROUND,
+            "nearest": cls.ROUND,
+            "rne": cls.ROUND_TO_NEAREST_EVEN,
+            "round-to-nearest-even": cls.ROUND_TO_NEAREST_EVEN,
+        }
+        if name not in aliases:
+            raise ValueError(f"unknown rounding mode: {name!r}")
+        return aliases[name]
+
+
+class OverflowMode(Enum):
+    """Behaviour when a value exceeds the destination format."""
+
+    WRAP = "wrap"
+    SATURATE = "saturate"
+
+
+def _as_int64(value: IntLike) -> np.ndarray:
+    return np.asarray(value, dtype=np.int64)
+
+
+def truncate_lsbs(value: IntLike, count: int) -> IntLike:
+    """Drop ``count`` LSBs by truncation (arithmetic shift right, floor).
+
+    Truncation of a two's-complement number always rounds towards minus
+    infinity, which introduces the well-known negative bias of -LSB/2.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return value
+    arr = _as_int64(value) >> count
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return int(arr)
+    return arr
+
+
+def round_lsbs(value: IntLike, count: int) -> IntLike:
+    """Drop ``count`` LSBs with round-half-up (add half LSB then truncate)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return value
+    offset = 1 << (count - 1)
+    arr = (_as_int64(value) + offset) >> count
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return int(arr)
+    return arr
+
+
+def round_lsbs_to_even(value: IntLike, count: int) -> IntLike:
+    """Drop ``count`` LSBs with round-half-to-even (convergent rounding)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return value
+    arr = _as_int64(value)
+    half = 1 << (count - 1)
+    mask = (1 << count) - 1
+    frac = arr & mask
+    base = arr >> count
+    round_up = (frac > half) | ((frac == half) & ((base & 1) == 1))
+    result = base + round_up.astype(np.int64)
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return int(result)
+    return result
+
+
+def drop_lsbs(value: IntLike, count: int,
+              mode: RoundingMode = RoundingMode.TRUNCATE) -> IntLike:
+    """Drop ``count`` LSBs using the requested rounding mode."""
+    if mode is RoundingMode.TRUNCATE:
+        return truncate_lsbs(value, count)
+    if mode is RoundingMode.ROUND:
+        return round_lsbs(value, count)
+    if mode is RoundingMode.ROUND_TO_NEAREST_EVEN:
+        return round_lsbs_to_even(value, count)
+    raise ValueError(f"unsupported rounding mode {mode}")
+
+
+def restore_lsbs(value: IntLike, count: int) -> IntLike:
+    """Re-align a quantised value to the original scale (LSBs forced to zero).
+
+    The paper's error analysis compares an operator whose output lost ``k``
+    LSBs against the full-precision reference; the quantised value therefore
+    has to be shifted back so both live on the same grid.  The re-inserted
+    bits are zero, which is exactly what a narrow datapath implicitly does.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return value
+    arr = _as_int64(value) << count
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return int(arr)
+    return arr
+
+
+def wrap_to_width(value: IntLike, width: int, signed: bool = True) -> IntLike:
+    """Wrap a value into ``width`` bits (two's-complement modular arithmetic)."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    mask = (1 << width) - 1
+    arr = _as_int64(value) & mask
+    if signed:
+        sign_bit = 1 << (width - 1)
+        arr = (arr ^ sign_bit) - sign_bit
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return int(arr)
+    return arr
+
+
+def saturate_to_width(value: IntLike, width: int, signed: bool = True) -> IntLike:
+    """Clamp a value to the representable range of ``width`` bits."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if signed:
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+    else:
+        lo = 0
+        hi = (1 << width) - 1
+    arr = np.clip(_as_int64(value), lo, hi)
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return int(arr)
+    return arr
+
+
+def fit_to_width(value: IntLike, width: int, signed: bool = True,
+                 overflow: OverflowMode = OverflowMode.WRAP) -> IntLike:
+    """Force a value into ``width`` bits using the requested overflow mode."""
+    if overflow is OverflowMode.WRAP:
+        return wrap_to_width(value, width, signed)
+    if overflow is OverflowMode.SATURATE:
+        return saturate_to_width(value, width, signed)
+    raise ValueError(f"unsupported overflow mode {overflow}")
+
+
+def quantize(value: IntLike, drop: int, width: int,
+             mode: RoundingMode = RoundingMode.TRUNCATE,
+             overflow: OverflowMode = OverflowMode.WRAP,
+             signed: bool = True) -> IntLike:
+    """Drop LSBs and fit the result into a destination width.
+
+    This is the complete quantisation step applied to operator inputs and
+    outputs by the truncated/rounded fixed-point operators.
+    """
+    reduced = drop_lsbs(value, drop, mode)
+    return fit_to_width(reduced, width, signed, overflow)

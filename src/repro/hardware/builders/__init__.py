@@ -1,0 +1,20 @@
+"""Structural netlist builders for the operator families."""
+from .adders import (
+    aca_adder,
+    eta_adder,
+    quantized_output_adder,
+    rca_approximate_adder,
+    ripple_carry_adder,
+)
+from .multipliers import aam_multiplier, abm_multiplier, exact_multiplier
+
+__all__ = [
+    "ripple_carry_adder",
+    "quantized_output_adder",
+    "rca_approximate_adder",
+    "eta_adder",
+    "aca_adder",
+    "exact_multiplier",
+    "aam_multiplier",
+    "abm_multiplier",
+]

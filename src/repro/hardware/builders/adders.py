@@ -1,0 +1,217 @@
+"""Gate-level netlist builders for the adder operators.
+
+Each builder returns a :class:`~repro.hardware.netlist.Netlist` whose
+structure follows the published architecture of the corresponding operator.
+The ripple-carry family (accurate, truncated, rounded adders) and RCAApx and
+the error-tolerant adders (ETAII / ETAIV) are built bit-exactly — the netlist
+simulation reproduces the functional model and is cross-checked in the
+test-suite, mirroring APXPERF's VHDL-vs-C verification step.  The ACA netlist
+models the *shared* speculative-carry implementation of Verma et al. (a
+windowed prefix structure); its cost and critical path follow that
+architecture but bit-equivalence with the per-bit functional window is not
+claimed (the sharing slightly widens some speculation windows).
+
+Every builder optionally wraps the combinational core with input and output
+registers (``registered=True``), which is how the paper characterises the
+operators: the operands always arrive on full-width registers, while the
+output register is only as wide as the operator's output — this is precisely
+where careful data sizing starts saving energy.
+"""
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...operators.adders.rcaapx import EXACT_FA, FullAdderTruthTable
+from ..netlist import Netlist
+from ..technology import GateKind, TechnologyLibrary, TECH_28NM
+
+
+def _register_io(netlist: Netlist, input_bits: int, output_bits: int) -> None:
+    netlist.add_register_bits(input_bits + output_bits)
+
+
+def ripple_carry_adder(width: int, registered: bool = True,
+                       registered_input_width: int | None = None,
+                       technology: TechnologyLibrary = TECH_28NM,
+                       name: str | None = None) -> Netlist:
+    """Accurate ``width``-bit ripple-carry adder (modular sum, no carry out).
+
+    ``registered_input_width`` allows charging full-width input registers even
+    when the adder core is narrower (the truncated/rounded operators), which
+    reflects the paper's characterisation harness.
+    """
+    netlist = Netlist(name or f"rca{width}", technology)
+    a = netlist.add_input_port("a", width)
+    b = netlist.add_input_port("b", width)
+    carry = netlist.const(0)
+    sums: List[int] = []
+    for i in range(width):
+        s, carry = netlist.full_adder(a[i], b[i], carry)
+        sums.append(s)
+    netlist.set_output_port("y", sums)
+    if registered:
+        in_width = registered_input_width if registered_input_width is not None else width
+        _register_io(netlist, 2 * in_width, width)
+    return netlist
+
+
+def quantized_output_adder(input_width: int, output_width: int,
+                           rounded: bool = False, registered: bool = True,
+                           technology: TechnologyLibrary = TECH_28NM) -> Netlist:
+    """Hardware model of ``ADDt`` / ``ADDr``.
+
+    In a carefully sized datapath the LSBs are eliminated at the producer's
+    output, so the physical adder is ``output_width`` bits wide.  The rounded
+    variant additionally carries the half-LSB increment, modelled as a
+    half-adder chain on the result.
+    """
+    suffix = "r" if rounded else "t"
+    core_width = output_width
+    netlist = Netlist(f"add{suffix}_{input_width}_{output_width}", technology)
+    a = netlist.add_input_port("a", core_width)
+    b = netlist.add_input_port("b", core_width)
+    carry = netlist.const(1) if rounded else netlist.const(0)
+    sums: List[int] = []
+    for i in range(core_width):
+        s, carry = netlist.full_adder(a[i], b[i], carry)
+        sums.append(s)
+    netlist.set_output_port("y", sums)
+    if registered:
+        _register_io(netlist, 2 * input_width, output_width)
+    return netlist
+
+
+def rca_approximate_adder(input_width: int, accurate_bits: int,
+                          cell: FullAdderTruthTable,
+                          registered: bool = True,
+                          technology: TechnologyLibrary = TECH_28NM) -> Netlist:
+    """RCAApx: approximate full-adder cells on the LSBs, accurate MSB part.
+
+    The approximate cells are mapped to simple gate realisations of their
+    truth tables; the three supported types cost at most a couple of gates
+    each, which is what makes the LSB part cheap.
+    """
+    approximate_bits = input_width - accurate_bits
+    netlist = Netlist(f"rcaapx_{input_width}_{accurate_bits}_{cell.name}", technology)
+    a = netlist.add_input_port("a", input_width)
+    b = netlist.add_input_port("b", input_width)
+    carry = netlist.const(0)
+    sums: List[int] = []
+    for i in range(input_width):
+        if i < approximate_bits:
+            s, carry = _approximate_cell(netlist, cell, a[i], b[i], carry)
+        else:
+            s, carry = netlist.full_adder(a[i], b[i], carry)
+        sums.append(s)
+    netlist.set_output_port("y", sums)
+    if registered:
+        _register_io(netlist, 2 * input_width, input_width)
+    return netlist
+
+
+def _approximate_cell(netlist: Netlist, cell: FullAdderTruthTable,
+                      a: int, b: int, cin: int) -> Tuple[int, int]:
+    """Gate realisation of the supported approximate full-adder cells."""
+    if cell.name == "ApproxFA1":
+        # Exact carry; sum simplified to mux(a, b | cin, b & cin), which is
+        # the gate form of the type-1 truth table (wrong only for 011 / 100).
+        carry = netlist.add_gate(GateKind.MAJ3, a, b, cin)
+        any_low = netlist.add_gate(GateKind.OR2, b, cin)
+        both_low = netlist.add_gate(GateKind.AND2, b, cin)
+        s = netlist.add_gate(GateKind.MUX2, a, any_low, both_low)
+        return s, carry
+    if cell.name == "ApproxFA2":
+        # Carry = a OR b, sum = NOT carry.
+        carry = netlist.add_gate(GateKind.OR2, a, b)
+        s = netlist.add_gate(GateKind.NOT, carry)
+        return s, carry
+    if cell.name == "ApproxFA3":
+        # Carry chain cut: carry = a, sum = b (wiring only).
+        s = netlist.add_gate(GateKind.BUF, b)
+        carry = netlist.add_gate(GateKind.BUF, a)
+        return s, carry
+    if cell.name == EXACT_FA.name:
+        return netlist.full_adder(a, b, cin)
+    raise ValueError(f"no gate mapping for approximate cell {cell.name!r}")
+
+
+def eta_adder(input_width: int, block_size: int, speculation_blocks: int = 2,
+              registered: bool = True,
+              technology: TechnologyLibrary = TECH_28NM) -> Netlist:
+    """ETAII (``speculation_blocks=1``) / ETAIV (``speculation_blocks=2``).
+
+    Structure: one ``block_size``-bit ripple adder per block for the local
+    sums, plus one carry generator per non-LSB block spanning the previous
+    ``speculation_blocks`` blocks (a carry chain without sum outputs).
+    """
+    if input_width % block_size != 0:
+        raise ValueError("input width must be a multiple of the block size")
+    blocks = input_width // block_size
+    kind = "etaiv" if speculation_blocks == 2 else "etaii"
+    netlist = Netlist(f"{kind}_{input_width}_{block_size}", technology)
+    a = netlist.add_input_port("a", input_width)
+    b = netlist.add_input_port("b", input_width)
+
+    sums: List[int] = [0] * input_width
+    for k in range(blocks):
+        if k == 0:
+            carry = netlist.const(0)
+        else:
+            first = max(0, k - speculation_blocks)
+            carry = netlist.const(0)
+            for pos in range(first * block_size, k * block_size):
+                # Carry generator cell: only the carry output of a full adder.
+                carry = netlist.add_gate(GateKind.MAJ3, a[pos], b[pos], carry)
+        for i in range(block_size):
+            pos = k * block_size + i
+            s, carry = netlist.full_adder(a[pos], b[pos], carry)
+            sums[pos] = s
+    netlist.set_output_port("y", sums)
+    if registered:
+        _register_io(netlist, 2 * input_width, input_width)
+    return netlist
+
+
+def aca_adder(input_width: int, prediction_bits: int, registered: bool = True,
+              technology: TechnologyLibrary = TECH_28NM) -> Netlist:
+    """ACA cost model: shared windowed-speculation implementation.
+
+    The Verma et al. implementation shares the speculative carry logic between
+    neighbouring output bits through a truncated prefix structure.  The model
+    instantiates, per bit: a propagate/generate pair, ``ceil(log2(P + 1))``
+    prefix-merge levels (one AOI cell plus one AND cell each), and the final
+    sum XOR.  The critical path therefore grows with ``log2(P)`` instead of
+    the operand width, which is the whole point of the design.
+    """
+    import math
+
+    netlist = Netlist(f"aca_{input_width}_{prediction_bits}", technology)
+    a = netlist.add_input_port("a", input_width)
+    b = netlist.add_input_port("b", input_width)
+
+    generate = [netlist.add_gate(GateKind.AND2, a[i], b[i]) for i in range(input_width)]
+    propagate = [netlist.add_gate(GateKind.XOR2, a[i], b[i]) for i in range(input_width)]
+
+    levels = max(1, math.ceil(math.log2(prediction_bits + 1)))
+    carries: List[int] = list(generate)
+    for level in range(levels):
+        span = 1 << level
+        next_carries: List[int] = []
+        for i in range(input_width):
+            if i >= span:
+                merged_and = netlist.add_gate(GateKind.AND2, propagate[i], carries[i - span])
+                merged = netlist.add_gate(GateKind.OR2, carries[i], merged_and)
+                next_carries.append(merged)
+            else:
+                next_carries.append(carries[i])
+        carries = next_carries
+
+    sums: List[int] = []
+    zero = netlist.const(0)
+    for i in range(input_width):
+        cin = carries[i - 1] if i > 0 else zero
+        sums.append(netlist.add_gate(GateKind.XOR2, propagate[i], cin))
+    netlist.set_output_port("y", sums)
+    if registered:
+        _register_io(netlist, 2 * input_width, input_width)
+    return netlist

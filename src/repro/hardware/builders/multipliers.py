@@ -1,0 +1,367 @@
+"""Gate-level netlist builders for the multiplier operators.
+
+The signed partial-product grid uses the Baugh-Wooley formulation, so the
+exact multiplier, the truncated fixed-width multiplier and AAM are built
+bit-exactly and verified against the functional models in the test-suite.
+
+Two reduction strategies are provided:
+
+* ``wallace`` — column-wise Dadda/Wallace 3:2 reduction followed by a final
+  carry-propagate adder.  This stands in for the optimised (DesignWare-like)
+  multiplier a synthesis tool produces for the plain ``a * b`` description,
+  i.e. the hardware behind ``MULt`` / ``MULr``.
+* ``array`` — sequential row-by-row ripple accumulation, the structure of the
+  classical array multiplier that AAM is derived from.  It is deeper and
+  glitchier, which is part of why AAM ends up costing more energy than the
+  truncated multiplier despite having fewer cells.
+
+The ABM builder is a *cost* model (cell inventory and critical path follow
+the pruned modified-Booth architecture with its encoders and the approximate
+redundant-to-binary conversion); bit-equivalence with the functional ABM
+model is not claimed and not used anywhere.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..netlist import Netlist
+from ..technology import GateKind, TechnologyLibrary, TECH_28NM
+
+Columns = Dict[int, List[int]]
+
+
+def _register_io(netlist: Netlist, input_bits: int, output_bits: int) -> None:
+    netlist.add_register_bits(input_bits + output_bits)
+
+
+# --------------------------------------------------------------------------- #
+# Partial-product generation (Baugh-Wooley, signed)
+# --------------------------------------------------------------------------- #
+def _baugh_wooley_columns(netlist: Netlist, a: List[int], b: List[int],
+                          width: int, min_column: int = 0) -> Columns:
+    """Signed partial-product grid as a column -> wire-list mapping.
+
+    Columns below ``min_column`` are not generated at all (pruned designs).
+    The returned grid, once summed with the column weights, equals the
+    two's-complement product modulo ``2**(2 * width)``.
+    """
+    n = width
+    columns: Columns = {c: [] for c in range(2 * n)}
+
+    def put(column: int, wire: int) -> None:
+        if column >= min_column:
+            columns[column].append(wire)
+
+    for i in range(n - 1):
+        for j in range(n - 1):
+            if i + j < min_column:
+                continue
+            put(i + j, netlist.add_gate(GateKind.AND2, a[i], b[j]))
+    for j in range(n - 1):
+        if n - 1 + j >= min_column:
+            cell = netlist.add_gate(GateKind.NAND2, a[n - 1], b[j])
+            put(n - 1 + j, cell)
+    for i in range(n - 1):
+        if n - 1 + i >= min_column:
+            cell = netlist.add_gate(GateKind.NAND2, a[i], b[n - 1])
+            put(n - 1 + i, cell)
+    put(2 * n - 2, netlist.add_gate(GateKind.AND2, a[n - 1], b[n - 1]))
+    # Correction constants of the Baugh-Wooley decomposition.
+    put(n, netlist.const(1))
+    put(2 * n - 1, netlist.const(1))
+    return columns
+
+
+# --------------------------------------------------------------------------- #
+# Column reduction strategies
+# --------------------------------------------------------------------------- #
+def _reduce_columns_wallace(netlist: Netlist, columns: Columns,
+                            total_width: int) -> List[int]:
+    """Dadda-style 3:2 reduction, then a final ripple carry-propagate adder."""
+    cols = {c: list(wires) for c, wires in columns.items()}
+    while any(len(wires) > 2 for wires in cols.values()):
+        next_cols: Columns = {c: [] for c in range(total_width)}
+        for c in range(total_width):
+            wires = cols.get(c, [])
+            index = 0
+            while len(wires) - index >= 3:
+                s, carry = netlist.full_adder(wires[index], wires[index + 1],
+                                              wires[index + 2])
+                next_cols[c].append(s)
+                if c + 1 < total_width:
+                    next_cols[c + 1].append(carry)
+                index += 3
+            if len(wires) - index == 2:
+                s, carry = netlist.half_adder(wires[index], wires[index + 1])
+                next_cols[c].append(s)
+                if c + 1 < total_width:
+                    next_cols[c + 1].append(carry)
+                index += 2
+            next_cols[c].extend(wires[index:])
+        cols = next_cols
+    return _final_adder_prefix(netlist, cols, total_width)
+
+
+def _reduce_columns_array(netlist: Netlist, columns: Columns,
+                          total_width: int) -> List[int]:
+    """Sequential (ripple) accumulation, the structure of an array multiplier."""
+    cols = {c: list(wires) for c, wires in columns.items()}
+    while any(len(wires) > 2 for wires in cols.values()):
+        next_cols: Columns = {c: [] for c in range(total_width)}
+        for c in range(total_width):
+            wires = cols.get(c, [])
+            if len(wires) >= 3:
+                s, carry = netlist.full_adder(wires[0], wires[1], wires[2])
+                next_cols[c].append(s)
+                if c + 1 < total_width:
+                    next_cols[c + 1].append(carry)
+                next_cols[c].extend(wires[3:])
+            else:
+                next_cols[c].extend(wires)
+        cols = next_cols
+    return _final_adder(netlist, cols, total_width)
+
+
+def _two_rows(netlist: Netlist, cols: Columns,
+              total_width: int) -> Tuple[List[int], List[int]]:
+    """Pad the two remaining rows of a reduced grid with constant zeros."""
+    row_x: List[int] = []
+    row_y: List[int] = []
+    for c in range(total_width):
+        wires = cols.get(c, [])
+        row_x.append(wires[0] if len(wires) >= 1 else netlist.const(0))
+        row_y.append(wires[1] if len(wires) >= 2 else netlist.const(0))
+    return row_x, row_y
+
+
+def _final_adder(netlist: Netlist, cols: Columns, total_width: int) -> List[int]:
+    """Ripple carry-propagate addition of the two remaining rows."""
+    row_x, row_y = _two_rows(netlist, cols, total_width)
+    outputs: List[int] = []
+    carry = netlist.const(0)
+    for x, y in zip(row_x, row_y):
+        s, carry = netlist.full_adder(x, y, carry)
+        outputs.append(s)
+    return outputs
+
+
+def _final_adder_prefix(netlist: Netlist, cols: Columns,
+                        total_width: int) -> List[int]:
+    """Sklansky parallel-prefix addition of the two remaining rows.
+
+    This is what a synthesis tool produces for the final carry-propagate
+    adder of an optimised multiplier: logarithmic depth and well balanced
+    arrival times (hence little glitching), at the price of extra prefix
+    cells.
+    """
+    import math
+
+    row_x, row_y = _two_rows(netlist, cols, total_width)
+    generate = [netlist.add_gate(GateKind.AND2, x, y) for x, y in zip(row_x, row_y)]
+    propagate = [netlist.add_gate(GateKind.XOR2, x, y) for x, y in zip(row_x, row_y)]
+
+    g = list(generate)
+    p = list(propagate)
+    levels = max(1, math.ceil(math.log2(max(total_width, 2))))
+    for level in range(levels):
+        span = 1 << level
+        new_g = list(g)
+        new_p = list(p)
+        for i in range(span, total_width):
+            j = i - span
+            and_term = netlist.add_gate(GateKind.AND2, p[i], g[j])
+            new_g[i] = netlist.add_gate(GateKind.OR2, g[i], and_term)
+            new_p[i] = netlist.add_gate(GateKind.AND2, p[i], p[j])
+        g, p = new_g, new_p
+
+    outputs: List[int] = [propagate[0]]
+    for i in range(1, total_width):
+        outputs.append(netlist.add_gate(GateKind.XOR2, propagate[i], g[i - 1]))
+    return outputs
+
+
+# --------------------------------------------------------------------------- #
+# Complete multipliers
+# --------------------------------------------------------------------------- #
+def exact_multiplier(width: int, output_width: int | None = None,
+                     strategy: str = "wallace", registered: bool = True,
+                     technology: TechnologyLibrary = TECH_28NM,
+                     name: str | None = None) -> Netlist:
+    """Signed ``width`` x ``width`` multiplier keeping the top ``output_width`` bits.
+
+    With ``output_width`` below ``2 * width`` the result is the truncated
+    fixed-width multiplier (``MULt``): the full grid is still generated —
+    the dropped LSBs need their carries — but the logic cone feeding only the
+    removed outputs is swept away, exactly as a synthesis tool would.
+    """
+    total = 2 * width
+    out = total if output_width is None else int(output_width)
+    if not 2 <= out <= total:
+        raise ValueError("output width must lie in [2, 2 * width]")
+    netlist = Netlist(name or f"mul{strategy}_{width}_{out}", technology)
+    a = netlist.add_input_port("a", width)
+    b = netlist.add_input_port("b", width)
+    columns = _baugh_wooley_columns(netlist, a, b, width)
+    if strategy == "wallace":
+        product = _reduce_columns_wallace(netlist, columns, total)
+    elif strategy == "array":
+        product = _reduce_columns_array(netlist, columns, total)
+    else:
+        raise ValueError(f"unknown reduction strategy {strategy!r}")
+    netlist.set_output_port("y", product[total - out:])
+    pruned = netlist.prune_unused()
+    if registered:
+        _register_io(pruned, 2 * width, out)
+    return pruned
+
+
+def aam_multiplier(width: int, compensation: bool = True, registered: bool = True,
+                   technology: TechnologyLibrary = TECH_28NM) -> Netlist:
+    """AAM: pruned Baugh-Wooley array with diagonal carry compensation.
+
+    The grid below column ``width - 1`` is never generated; the diagonal AND
+    terms feed a small counter whose halved value (plus the grid-pruning
+    correction constant) is injected at column ``width``.  The reduction uses
+    the array (ripple) strategy of the original design.
+    """
+    n = width
+    netlist = Netlist(f"aam_{n}" + ("" if compensation else "_nocomp"), technology)
+    a = netlist.add_input_port("a", n)
+    b = netlist.add_input_port("b", n)
+
+    # Kept half of the grid, re-indexed so local column 0 is product column n.
+    full_columns = _baugh_wooley_columns(netlist, a, b, n, min_column=n)
+    columns: Columns = {c: [] for c in range(n)}
+    for column, wires in full_columns.items():
+        local = column - n
+        if 0 <= local < n:
+            columns[local].extend(wires)
+
+    if compensation:
+        # Diagonal AND terms a_i & b_{n-1-i}; their count, halved (rounded up),
+        # estimates the carries the pruned triangle would have produced.
+        diagonal = [netlist.add_gate(GateKind.AND2, a[i], b[n - 1 - i]) for i in range(n)]
+        count_wires = _popcount(netlist, diagonal)
+        # ceil(count / 2) == (count + 1) >> 1: add one then drop the LSB.
+        incremented = _increment(netlist, count_wires)
+        for offset, wire in enumerate(incremented[1:]):
+            if offset < n:
+                columns[offset].append(wire)
+    # Pruning the two complemented column-(n-1) cells removes an extra
+    # (2 - ...) * 2^(n-1) with respect to the signed cell decomposition; the
+    # net correction is one unit at column n (local column 0).
+    columns[0].append(netlist.const(1))
+
+    product = _reduce_columns_array(netlist, columns, n)
+    netlist.set_output_port("y", product)
+    pruned = netlist.prune_unused()
+    if registered:
+        _register_io(pruned, 2 * n, n)
+    return pruned
+
+
+def _popcount(netlist: Netlist, wires: List[int]) -> List[int]:
+    """Counter tree summing single-bit wires; returns the count, LSB first."""
+    columns: Columns = {0: list(wires)}
+    width = max(1, len(wires)).bit_length()
+    for c in range(width + 1):
+        columns.setdefault(c, [])
+    result = _reduce_columns_wallace(netlist, columns, width + 1)
+    return result
+
+
+def _increment(netlist: Netlist, wires: List[int]) -> List[int]:
+    """Add one to a small unsigned value (half-adder chain)."""
+    carry = netlist.const(1)
+    outputs = []
+    for wire in wires:
+        s, carry = netlist.half_adder(wire, carry)
+        outputs.append(s)
+    outputs.append(carry)
+    return outputs
+
+
+def abm_multiplier(width: int, compensation: bool = True, carry_window: int = 4,
+                   registered: bool = True,
+                   technology: TechnologyLibrary = TECH_28NM) -> Netlist:
+    """ABM cost model: pruned radix-4 modified-Booth fixed-width multiplier.
+
+    Cell inventory per the published architecture: one Booth encoder per pair
+    of multiplier bits, one selector cell (mux + conditional inversion) per
+    kept partial-product bit, a 3:2 compressor tree over the kept columns,
+    the column compensation and a limited-carry final conversion.  The
+    structure is wired so the critical path is representative (encoder →
+    selector → log-depth tree → windowed conversion); the netlist is used for
+    area / delay / power only.
+    """
+    n = width
+    rows = (n + 1) // 2
+    netlist = Netlist(f"abm_{n}" + ("" if compensation else "_nocomp"), technology)
+    a = netlist.add_input_port("a", n)
+    b = netlist.add_input_port("b", n)
+
+    columns: Columns = {c: [] for c in range(n + 1)}
+    for k in range(rows):
+        low = 2 * k
+        mid = min(2 * k + 1, n - 1)
+        prev = 2 * k - 1
+        prev_wire = b[prev] if prev >= 0 else netlist.const(0)
+        # Booth encoder: produces the one/two/negate controls for the row.
+        one = netlist.add_gate(GateKind.XOR2, b[low], prev_wire)
+        two_a = netlist.add_gate(GateKind.XNOR2, b[mid], b[low])
+        two = netlist.add_gate(GateKind.NOR2, two_a, one)
+        neg = netlist.add_gate(GateKind.AND2, b[mid], one)
+
+        # Selector cells for the kept columns of this row.  Row k spans
+        # product columns 2k .. 2k + n; only columns >= n - 1 are kept.
+        first_kept = max(n - 1, 2 * k)
+        for column in range(first_kept, n + 1 + 2 * k):
+            src = min(max(column - 2 * k, 0), n - 1)
+            shifted = a[src - 1] if src >= 1 else netlist.const(0)
+            selected = netlist.add_gate(GateKind.MUX2, two, a[src], shifted)
+            cell = netlist.add_gate(GateKind.XOR2, selected, neg)
+            local = column - n
+            if 0 <= local <= n:
+                columns[local].append(cell)
+        # Compensation input: the most significant bit of the dropped part.
+        if compensation and 2 * k < n - 1:
+            src = min(n - 1 - 2 * k, n - 1)
+            comp_cell = netlist.add_gate(GateKind.AND2, a[src], one)
+            columns[0].append(comp_cell)
+
+        # Sign-extension handling of the row inside the kept grid (the Booth
+        # rows are signed) and the two's-complement "+1" correction of
+        # negated rows: constant-weight overhead cells of the architecture.
+        sign = netlist.add_gate(GateKind.XOR2, a[n - 1], neg)
+        ext1 = netlist.add_gate(GateKind.NOT, sign)
+        ext2 = netlist.add_gate(GateKind.XNOR2, sign, two)
+        columns[n].append(ext1)
+        columns[min(n, n - 1)].append(ext2)
+        correction = netlist.add_gate(GateKind.AND2, neg, one)
+        columns[0].append(correction)
+
+    reduced = _reduce_columns_wallace(netlist, columns, n + 1)
+
+    # Redundant-binary decoder stage (carried in the design even though its
+    # latency can be hidden downstream): one XOR + one AND per output bit.
+    decoded: List[int] = []
+    for i in range(n + 1):
+        borrow = netlist.add_gate(GateKind.AND2, reduced[i],
+                                  reduced[max(i - 1, 0)])
+        decoded.append(netlist.add_gate(GateKind.XOR2, reduced[i], borrow))
+    reduced = decoded
+
+    # Approximate redundant-to-binary conversion: the two final vectors are
+    # combined with a bounded carry window instead of a full carry chain.
+    outputs: List[int] = []
+    for i in range(n):
+        carry = netlist.const(0)
+        for j in range(max(0, i - carry_window), i):
+            other = reduced[j - 1] if j > 0 else netlist.const(0)
+            carry = netlist.add_gate(GateKind.MAJ3, reduced[j], other, carry)
+        outputs.append(netlist.add_gate(GateKind.XOR2, reduced[i], carry))
+    netlist.set_output_port("y", outputs)
+    pruned = netlist.prune_unused()
+    if registered:
+        _register_io(pruned, 2 * n, n)
+    return pruned

@@ -1,0 +1,335 @@
+"""Gate-level netlist container with logic simulation, timing and area.
+
+The netlist plays the role of the synthesised gate-level design in APXPERF's
+flow: from it we obtain area (sum of cell areas), delay (longest
+combinational path) and — together with :mod:`repro.hardware.power` — an
+activity-based power figure.  Netlists are built programmatically by the
+operator builders; gates must be appended in topological order (a gate's
+inputs are either primary inputs, constants or outputs of earlier gates),
+which every builder naturally satisfies.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .technology import GateKind, TechnologyLibrary, TECH_28NM
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One primitive cell instance: an output wire driven by input wires."""
+
+    kind: GateKind
+    output: int
+    inputs: Tuple[int, ...]
+
+
+class Netlist:
+    """A combinational (plus optional I/O register) gate-level design."""
+
+    def __init__(self, name: str, technology: TechnologyLibrary = TECH_28NM) -> None:
+        self.name = name
+        self.technology = technology
+        self._gates: List[Gate] = []
+        self._wire_count = 0
+        self._ports_in: Dict[str, List[int]] = {}
+        self._ports_out: Dict[str, List[int]] = {}
+        self._const0: Optional[int] = None
+        self._const1: Optional[int] = None
+        self._register_bits = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction API (used by the builders)
+    # ------------------------------------------------------------------ #
+    def new_wire(self) -> int:
+        wire = self._wire_count
+        self._wire_count += 1
+        return wire
+
+    def add_input_port(self, name: str, width: int) -> List[int]:
+        """Declare a primary input port of ``width`` bits (LSB first)."""
+        if name in self._ports_in:
+            raise ValueError(f"input port {name!r} already exists")
+        wires = []
+        for _ in range(width):
+            wire = self.new_wire()
+            self._gates.append(Gate(GateKind.INPUT, wire, ()))
+            wires.append(wire)
+        self._ports_in[name] = wires
+        return wires
+
+    def set_output_port(self, name: str, wires: Sequence[int]) -> None:
+        """Declare a primary output port from existing wires (LSB first)."""
+        if name in self._ports_out:
+            raise ValueError(f"output port {name!r} already exists")
+        self._ports_out[name] = list(wires)
+
+    def const(self, value: int) -> int:
+        """Wire holding constant 0 or 1 (created lazily, shared)."""
+        if value not in (0, 1):
+            raise ValueError("constant must be 0 or 1")
+        if value == 0:
+            if self._const0 is None:
+                self._const0 = self.new_wire()
+                self._gates.append(Gate(GateKind.CONST0, self._const0, ()))
+            return self._const0
+        if self._const1 is None:
+            self._const1 = self.new_wire()
+            self._gates.append(Gate(GateKind.CONST1, self._const1, ()))
+        return self._const1
+
+    def add_gate(self, kind: GateKind, *inputs: int) -> int:
+        """Append a gate driven by existing wires; returns its output wire."""
+        for wire in inputs:
+            if not 0 <= wire < self._wire_count:
+                raise ValueError(f"unknown wire {wire}")
+        output = self.new_wire()
+        self._gates.append(Gate(kind, output, tuple(inputs)))
+        return output
+
+    def add_register_bits(self, count: int) -> None:
+        """Account for ``count`` D flip-flops (I/O registers of the operator).
+
+        Registers are not simulated (the operators are purely combinational
+        between registers); they contribute area, leakage and clock-load
+        energy, which is why the paper's small adders still burn tens of
+        microwatts.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._register_bits += count
+
+    # -- small structural helpers shared by many builders ---------------- #
+    def full_adder(self, a: int, b: int, cin: int) -> Tuple[int, int]:
+        """Accurate full adder; returns ``(sum, carry)`` wires."""
+        axb = self.add_gate(GateKind.XOR2, a, b)
+        s = self.add_gate(GateKind.XOR2, axb, cin)
+        carry = self.add_gate(GateKind.MAJ3, a, b, cin)
+        return s, carry
+
+    def half_adder(self, a: int, b: int) -> Tuple[int, int]:
+        """Half adder; returns ``(sum, carry)`` wires."""
+        s = self.add_gate(GateKind.XOR2, a, b)
+        carry = self.add_gate(GateKind.AND2, a, b)
+        return s, carry
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def gates(self) -> Sequence[Gate]:
+        return tuple(self._gates)
+
+    @property
+    def input_ports(self) -> Dict[str, List[int]]:
+        return dict(self._ports_in)
+
+    @property
+    def output_ports(self) -> Dict[str, List[int]]:
+        return dict(self._ports_out)
+
+    @property
+    def register_bits(self) -> int:
+        return self._register_bits
+
+    def gate_count(self, kind: Optional[GateKind] = None) -> int:
+        """Number of logic gates (pseudo-cells excluded), optionally by kind."""
+        pseudo = (GateKind.INPUT, GateKind.CONST0, GateKind.CONST1)
+        if kind is None:
+            return sum(1 for g in self._gates if g.kind not in pseudo)
+        return sum(1 for g in self._gates if g.kind is kind)
+
+    def gate_histogram(self) -> Dict[str, int]:
+        """Cell-count histogram, useful for reports and tests."""
+        histogram: Dict[str, int] = {}
+        pseudo = (GateKind.INPUT, GateKind.CONST0, GateKind.CONST1)
+        for gate in self._gates:
+            if gate.kind in pseudo:
+                continue
+            histogram[gate.kind.value] = histogram.get(gate.kind.value, 0) + 1
+        if self._register_bits:
+            histogram[GateKind.DFF.value] = histogram.get(GateKind.DFF.value, 0) \
+                + self._register_bits
+        return histogram
+
+    # ------------------------------------------------------------------ #
+    # Area and timing
+    # ------------------------------------------------------------------ #
+    def area_um2(self) -> float:
+        """Total cell area, combinational gates plus I/O registers."""
+        tech = self.technology
+        total = sum(tech.area(g.kind) for g in self._gates)
+        total += self._register_bits * tech.area(GateKind.DFF)
+        return total
+
+    def leakage_nw(self) -> float:
+        """Total leakage power in nanowatts."""
+        tech = self.technology
+        total = sum(tech.leakage(g.kind) for g in self._gates)
+        total += self._register_bits * tech.leakage(GateKind.DFF)
+        return total
+
+    def wire_depths(self) -> np.ndarray:
+        """Arrival time (ns) of every wire assuming zero input arrival."""
+        tech = self.technology
+        arrival = np.zeros(self._wire_count, dtype=np.float64)
+        for gate in self._gates:
+            if gate.kind in (GateKind.INPUT, GateKind.CONST0, GateKind.CONST1):
+                arrival[gate.output] = 0.0
+                continue
+            start = max((arrival[w] for w in gate.inputs), default=0.0)
+            arrival[gate.output] = start + tech.delay(gate.kind)
+        return arrival
+
+    def wire_logic_depths(self) -> np.ndarray:
+        """Logic depth (gate count from primary inputs) of every wire."""
+        depth = np.zeros(self._wire_count, dtype=np.int64)
+        for gate in self._gates:
+            if gate.kind in (GateKind.INPUT, GateKind.CONST0, GateKind.CONST1):
+                depth[gate.output] = 0
+                continue
+            start = max((depth[w] for w in gate.inputs), default=0)
+            depth[gate.output] = start + 1
+        return depth
+
+    def critical_path_ns(self) -> float:
+        """Longest input-to-output combinational delay.
+
+        The clock-to-q / setup overhead of the I/O registers is added when
+        registers are present, mirroring what a synthesis report would show.
+        """
+        arrival = self.wire_depths()
+        outputs = [w for wires in self._ports_out.values() for w in wires]
+        path = max((arrival[w] for w in outputs), default=0.0)
+        if self._register_bits:
+            path += self.technology.delay(GateKind.DFF)
+        return float(path)
+
+    # ------------------------------------------------------------------ #
+    # Logic simulation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, inputs: Dict[str, np.ndarray],
+                 return_wires: bool = False
+                 ) -> Dict[str, np.ndarray] | Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Simulate the netlist on integer stimulus.
+
+        ``inputs`` maps port names to arrays of (unsigned or two's-complement)
+        integer codes; each code is expanded into the port's bit wires.
+        Returns the output ports re-assembled into unsigned integer codes,
+        plus optionally the full wire-value matrix (samples x wires) used by
+        the toggle-based power estimation.
+        """
+        sizes = {np.asarray(v).size for v in inputs.values()}
+        if len(sizes) != 1:
+            raise ValueError("all input ports must have the same number of samples")
+        samples = sizes.pop()
+
+        values = np.zeros((samples, self._wire_count), dtype=np.int8)
+        for port, wires in self._ports_in.items():
+            if port not in inputs:
+                raise ValueError(f"missing stimulus for input port {port!r}")
+            codes = np.asarray(inputs[port], dtype=np.int64)
+            for bit, wire in enumerate(wires):
+                values[:, wire] = (codes >> bit) & 1
+
+        for gate in self._gates:
+            kind = gate.kind
+            if kind is GateKind.INPUT:
+                continue
+            if kind is GateKind.CONST0:
+                values[:, gate.output] = 0
+            elif kind is GateKind.CONST1:
+                values[:, gate.output] = 1
+            elif kind is GateKind.BUF:
+                values[:, gate.output] = values[:, gate.inputs[0]]
+            elif kind is GateKind.NOT:
+                values[:, gate.output] = 1 - values[:, gate.inputs[0]]
+            elif kind is GateKind.AND2:
+                values[:, gate.output] = values[:, gate.inputs[0]] & values[:, gate.inputs[1]]
+            elif kind is GateKind.OR2:
+                values[:, gate.output] = values[:, gate.inputs[0]] | values[:, gate.inputs[1]]
+            elif kind is GateKind.NAND2:
+                values[:, gate.output] = 1 - (values[:, gate.inputs[0]] & values[:, gate.inputs[1]])
+            elif kind is GateKind.NOR2:
+                values[:, gate.output] = 1 - (values[:, gate.inputs[0]] | values[:, gate.inputs[1]])
+            elif kind is GateKind.XOR2:
+                values[:, gate.output] = values[:, gate.inputs[0]] ^ values[:, gate.inputs[1]]
+            elif kind is GateKind.XNOR2:
+                values[:, gate.output] = 1 - (values[:, gate.inputs[0]] ^ values[:, gate.inputs[1]])
+            elif kind is GateKind.MUX2:
+                sel = values[:, gate.inputs[0]]
+                values[:, gate.output] = np.where(sel == 1,
+                                                  values[:, gate.inputs[2]],
+                                                  values[:, gate.inputs[1]])
+            elif kind is GateKind.MAJ3:
+                total = (values[:, gate.inputs[0]].astype(np.int16)
+                         + values[:, gate.inputs[1]] + values[:, gate.inputs[2]])
+                values[:, gate.output] = (total >= 2).astype(np.int8)
+            elif kind is GateKind.AOI21:
+                a, b, c = gate.inputs
+                values[:, gate.output] = 1 - ((values[:, a] & values[:, b]) | values[:, c])
+            else:  # pragma: no cover - exhaustive enum
+                raise ValueError(f"unsupported gate kind {kind}")
+
+        outputs: Dict[str, np.ndarray] = {}
+        for port, wires in self._ports_out.items():
+            codes = np.zeros(samples, dtype=np.int64)
+            for bit, wire in enumerate(wires):
+                codes |= values[:, wire].astype(np.int64) << bit
+            outputs[port] = codes
+        if return_wires:
+            return outputs, values
+        return outputs
+
+    def evaluate_signed(self, inputs: Dict[str, np.ndarray],
+                        port: str = "y") -> np.ndarray:
+        """Evaluate and reinterpret one output port as two's complement."""
+        outputs = self.evaluate(inputs)
+        wires = self._ports_out[port]
+        width = len(wires)
+        codes = np.asarray(outputs[port], dtype=np.int64)
+        sign_bit = 1 << (width - 1)
+        return (codes ^ sign_bit) - sign_bit
+
+    # ------------------------------------------------------------------ #
+    # Structural transformations
+    # ------------------------------------------------------------------ #
+    def prune_unused(self) -> "Netlist":
+        """Remove gates with no path to any primary output.
+
+        This mirrors the fanout-free-cone sweeping a synthesis tool performs
+        when some product bits are unused (e.g. truncated multiplier outputs).
+        Primary inputs are always kept so the port interface is unchanged.
+        """
+        needed = set()
+        for wires in self._ports_out.values():
+            needed.update(wires)
+        for gate in reversed(self._gates):
+            if gate.output in needed:
+                needed.update(gate.inputs)
+
+        pruned = Netlist(self.name, self.technology)
+        pruned._register_bits = self._register_bits
+        wire_map: Dict[int, int] = {}
+        for gate in self._gates:
+            keep = gate.kind is GateKind.INPUT or gate.output in needed
+            if not keep:
+                continue
+            new_output = pruned.new_wire()
+            wire_map[gate.output] = new_output
+            new_inputs = tuple(wire_map[w] for w in gate.inputs)
+            pruned._gates.append(Gate(gate.kind, new_output, new_inputs))
+        pruned._ports_in = {
+            port: [wire_map[w] for w in wires] for port, wires in self._ports_in.items()
+        }
+        pruned._ports_out = {
+            port: [wire_map[w] for w in wires] for port, wires in self._ports_out.items()
+        }
+        if self._const0 is not None and self._const0 in wire_map:
+            pruned._const0 = wire_map[self._const0]
+        if self._const1 is not None and self._const1 in wire_map:
+            pruned._const1 = wire_map[self._const1]
+        return pruned

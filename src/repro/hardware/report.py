@@ -1,0 +1,80 @@
+"""Hardware characterisation results."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class HardwareReport:
+    """Area / delay / power characterisation of one operator configuration.
+
+    This is the hardware half of an APXPERF characterisation run (the error
+    half lives in :class:`repro.metrics.error.ErrorReport`).
+    """
+
+    operator: str
+    family: str
+    area_um2: float
+    delay_ns: float
+    power_mw: float
+    leakage_mw: float
+    frequency_hz: float
+    gate_histogram: Dict[str, int] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Whether the calibration anchors were applied.
+    calibrated: bool = True
+
+    @property
+    def pdp_pj(self) -> float:
+        """Power-delay product in picojoules (the paper's energy-per-operation)."""
+        return self.power_mw * self.delay_ns
+
+    @property
+    def energy_per_op_pj(self) -> float:
+        """Energy charged per operation in the datapath model (same as PDP)."""
+        return self.pdp_pj
+
+    @property
+    def energy_per_cycle_pj(self) -> float:
+        """Average energy drawn per clock cycle (power / frequency)."""
+        if self.frequency_hz <= 0:
+            return 0.0
+        return self.power_mw * 1e-3 / self.frequency_hz * 1e12
+
+    @property
+    def gate_count(self) -> int:
+        """Total number of cells (registers included)."""
+        return int(sum(self.gate_histogram.values()))
+
+    def scaled(self, area: float = 1.0, delay: float = 1.0,
+               power: float = 1.0) -> "HardwareReport":
+        """Return a copy with the headline metrics scaled (calibration)."""
+        return HardwareReport(
+            operator=self.operator,
+            family=self.family,
+            area_um2=self.area_um2 * area,
+            delay_ns=self.delay_ns * delay,
+            power_mw=self.power_mw * power,
+            leakage_mw=self.leakage_mw * power,
+            frequency_hz=self.frequency_hz,
+            gate_histogram=dict(self.gate_histogram),
+            params=dict(self.params),
+            calibrated=True,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialisable summary (used by the experiment result files)."""
+        return {
+            "operator": self.operator,
+            "family": self.family,
+            "area_um2": self.area_um2,
+            "delay_ns": self.delay_ns,
+            "power_mw": self.power_mw,
+            "pdp_pj": self.pdp_pj,
+            "leakage_mw": self.leakage_mw,
+            "frequency_hz": self.frequency_hz,
+            "gate_count": self.gate_count,
+            "params": dict(self.params),
+            "calibrated": self.calibrated,
+        }

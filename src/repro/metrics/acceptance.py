@@ -1,0 +1,64 @@
+"""Acceptance probability versus minimum acceptable accuracy (AP / MAA).
+
+Zhu et al. characterise error-tolerant adders by the probability that a
+result is "acceptable", where acceptability means the relative accuracy of
+the result exceeds a Minimum Acceptable Accuracy threshold.  APXPERF exposes
+the same metric; it is mostly useful for the fail-rare operators whose plain
+error rate is misleading.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def result_accuracy(reference: np.ndarray, approximate: np.ndarray) -> np.ndarray:
+    """Per-sample accuracy ``1 - |e| / max(|x|, 1)`` clipped to ``[0, 1]``."""
+    ref = np.asarray(reference, dtype=np.float64)
+    approx = np.asarray(approximate, dtype=np.float64)
+    magnitude = np.maximum(np.abs(ref), 1.0)
+    accuracy = 1.0 - np.abs(ref - approx) / magnitude
+    return np.clip(accuracy, 0.0, 1.0)
+
+
+def acceptance_probability(reference: np.ndarray, approximate: np.ndarray,
+                           minimum_acceptable_accuracy: float) -> float:
+    """Fraction of results whose accuracy reaches the MAA threshold."""
+    if not 0.0 <= minimum_acceptable_accuracy <= 1.0:
+        raise ValueError("MAA must lie in [0, 1]")
+    accuracy = result_accuracy(reference, approximate)
+    return float(np.mean(accuracy >= minimum_acceptable_accuracy))
+
+
+@dataclass(frozen=True)
+class AcceptanceCurve:
+    """Acceptance probability evaluated over a set of MAA thresholds."""
+
+    thresholds: Tuple[float, ...]
+    probabilities: Tuple[float, ...]
+
+    def as_dict(self) -> Dict[float, float]:
+        return dict(zip(self.thresholds, self.probabilities))
+
+    def probability_at(self, threshold: float) -> float:
+        """Acceptance probability at an exact threshold present in the curve."""
+        mapping = self.as_dict()
+        if threshold not in mapping:
+            raise KeyError(f"threshold {threshold} was not evaluated")
+        return mapping[threshold]
+
+
+DEFAULT_MAA_THRESHOLDS: Tuple[float, ...] = (0.90, 0.95, 0.98, 0.99, 0.999)
+
+
+def acceptance_curve(reference: np.ndarray, approximate: np.ndarray,
+                     thresholds: Sequence[float] = DEFAULT_MAA_THRESHOLDS
+                     ) -> AcceptanceCurve:
+    """Acceptance probability for each MAA threshold."""
+    probabilities = tuple(
+        acceptance_probability(reference, approximate, threshold)
+        for threshold in thresholds
+    )
+    return AcceptanceCurve(thresholds=tuple(thresholds), probabilities=probabilities)

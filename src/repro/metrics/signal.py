@@ -1,0 +1,57 @@
+"""Signal-level quality metrics (SNR, PSNR).
+
+The FFT experiment of the paper reports the Peak Signal-to-Noise Ratio of the
+approximate transform output against the exact one:
+
+    PSNR [dB] = 10 log10( max(x^2) / MSE(x) )
+
+where ``x`` is the reference signal and the MSE is taken between reference
+and approximate outputs.
+"""
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+def signal_mse(reference: np.ndarray, approximate: np.ndarray) -> float:
+    """Mean squared error between two signals (flattened)."""
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    approx = np.asarray(approximate, dtype=np.float64).ravel()
+    if ref.shape != approx.shape:
+        raise ValueError("signals must have the same length")
+    if ref.size == 0:
+        raise ValueError("signals are empty")
+    return float(np.mean((ref - approx) ** 2))
+
+
+def snr_db(reference: np.ndarray, approximate: np.ndarray) -> float:
+    """Signal-to-noise ratio: signal power over error power, in dB."""
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    noise = signal_mse(reference, approximate)
+    power = float(np.mean(ref ** 2))
+    if noise == 0.0:
+        return float("inf")
+    if power == 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(power / noise)
+
+
+def psnr_db(reference: np.ndarray, approximate: np.ndarray,
+            peak: Optional[float] = None) -> float:
+    """Peak signal-to-noise ratio in dB, following the paper's definition.
+
+    ``peak`` defaults to ``max(reference**2)``; pass an explicit full-scale
+    value (e.g. ``255.0`` for 8-bit images) to use the conventional image
+    PSNR instead.
+    """
+    noise = signal_mse(reference, approximate)
+    ref = np.asarray(reference, dtype=np.float64)
+    peak_power = float(np.max(ref ** 2)) if peak is None else float(peak) ** 2
+    if noise == 0.0:
+        return float("inf")
+    if peak_power == 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(peak_power / noise)

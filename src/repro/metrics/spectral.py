@@ -1,0 +1,79 @@
+"""Error distribution (PDF) and power spectral density (PSD).
+
+APXPERF reports the full shape of the error, not only its moments: the
+probability density function tells fail-small errors (narrow, centred) apart
+from fail-rare ones (heavy tails), and the PSD shows whether the error is
+white — the assumption behind the classical quantisation-noise model — or
+correlated with the data.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorPdf:
+    """Histogram estimate of the error probability density."""
+
+    bin_edges: np.ndarray
+    density: np.ndarray
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        return (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+
+    def probability_in(self, low: float, high: float) -> float:
+        """Integrated probability mass over ``[low, high]``."""
+        widths = np.diff(self.bin_edges)
+        centers = self.bin_centers
+        mask = (centers >= low) & (centers <= high)
+        return float(np.sum(self.density[mask] * widths[mask]))
+
+
+def error_pdf(error: np.ndarray, bins: int = 101) -> ErrorPdf:
+    """Estimate the error PDF with a normalised histogram."""
+    err = np.asarray(error, dtype=np.float64)
+    if err.size == 0:
+        raise ValueError("error array is empty")
+    density, edges = np.histogram(err, bins=bins, density=True)
+    return ErrorPdf(bin_edges=edges, density=density)
+
+
+@dataclass(frozen=True)
+class ErrorPsd:
+    """Periodogram estimate of the error power spectral density."""
+
+    frequencies: np.ndarray
+    power: np.ndarray
+
+    @property
+    def total_power(self) -> float:
+        return float(np.sum(self.power))
+
+    def flatness(self) -> float:
+        """Spectral flatness (geometric / arithmetic mean); 1.0 = white."""
+        power = np.clip(self.power, 1e-30, None)
+        geometric = float(np.exp(np.mean(np.log(power))))
+        arithmetic = float(np.mean(power))
+        if arithmetic == 0.0:
+            return 1.0
+        return geometric / arithmetic
+
+
+def error_psd(error: np.ndarray, segment: int = 1024) -> ErrorPsd:
+    """Averaged-periodogram (Bartlett) PSD estimate of the error sequence."""
+    err = np.asarray(error, dtype=np.float64)
+    if err.size < 2:
+        raise ValueError("at least two samples are required")
+    segment = int(min(segment, err.size))
+    count = err.size // segment
+    if count == 0:
+        raise ValueError("segment longer than the error sequence")
+    trimmed = err[: count * segment].reshape(count, segment)
+    spectrum = np.fft.rfft(trimmed, axis=1)
+    power = np.mean(np.abs(spectrum) ** 2, axis=0) / segment
+    frequencies = np.fft.rfftfreq(segment, d=1.0)
+    return ErrorPsd(frequencies=frequencies, power=power)

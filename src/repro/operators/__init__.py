@@ -1,0 +1,55 @@
+"""Bit-accurate operator models.
+
+This package contains every arithmetic operator compared in the paper:
+
+* data-sized fixed-point operators (truncated / rounded adders and
+  multipliers), whose only inaccuracy is bit-width reduction;
+* the approximate adders ACA, ETAII, ETAIV and RCAApx;
+* the approximate multipliers AAM and ABM;
+* the accurate reference operators.
+
+All models are vectorised over NumPy ``int64`` arrays and share the
+:class:`~repro.operators.base.Operator` interface, so the characterisation
+harness, the applications and the hardware model treat them uniformly.
+"""
+from . import bitops
+from .adders import (
+    ACAAdder,
+    ETAIIAdder,
+    ETAIVAdder,
+    ExactAdder,
+    RCAApxAdder,
+    RoundToNearestEvenAdder,
+    RoundedAdder,
+    TruncatedAdder,
+)
+from .base import AdderOperator, MultiplierOperator, Operator
+from .multipliers import (
+    AAMMultiplier,
+    ABMMultiplier,
+    BoothMultiplier,
+    ExactMultiplier,
+    RoundedMultiplier,
+    TruncatedMultiplier,
+)
+
+__all__ = [
+    "bitops",
+    "Operator",
+    "AdderOperator",
+    "MultiplierOperator",
+    "ExactAdder",
+    "TruncatedAdder",
+    "RoundedAdder",
+    "RoundToNearestEvenAdder",
+    "ACAAdder",
+    "ETAIIAdder",
+    "ETAIVAdder",
+    "RCAApxAdder",
+    "ExactMultiplier",
+    "TruncatedMultiplier",
+    "RoundedMultiplier",
+    "BoothMultiplier",
+    "AAMMultiplier",
+    "ABMMultiplier",
+]

@@ -1,0 +1,37 @@
+"""Adder operator models (accurate, data-sized, approximate)."""
+from .accurate import (
+    ExactAdder,
+    QuantizedOutputAdder,
+    RoundToNearestEvenAdder,
+    RoundedAdder,
+    TruncatedAdder,
+)
+from .aca import ACAAdder
+from .etaiv import ETAIIAdder, ETAIVAdder
+from .rcaapx import (
+    APPROX_FA_TYPE1,
+    APPROX_FA_TYPE2,
+    APPROX_FA_TYPE3,
+    APPROX_FA_TYPES,
+    EXACT_FA,
+    FullAdderTruthTable,
+    RCAApxAdder,
+)
+
+__all__ = [
+    "ExactAdder",
+    "QuantizedOutputAdder",
+    "TruncatedAdder",
+    "RoundedAdder",
+    "RoundToNearestEvenAdder",
+    "ACAAdder",
+    "ETAIIAdder",
+    "ETAIVAdder",
+    "RCAApxAdder",
+    "FullAdderTruthTable",
+    "EXACT_FA",
+    "APPROX_FA_TYPE1",
+    "APPROX_FA_TYPE2",
+    "APPROX_FA_TYPE3",
+    "APPROX_FA_TYPES",
+]

@@ -1,0 +1,30 @@
+"""Multiplier operator models (accurate, data-sized, approximate)."""
+from .aam import AAMMultiplier
+from .abm import ABMMultiplier
+from .accurate import (
+    ExactMultiplier,
+    QuantizedOutputMultiplier,
+    RoundedMultiplier,
+    TruncatedMultiplier,
+)
+from .booth import (
+    BoothMultiplier,
+    booth_decode,
+    booth_digit_count,
+    booth_encode,
+    booth_partial_products,
+)
+
+__all__ = [
+    "ExactMultiplier",
+    "QuantizedOutputMultiplier",
+    "TruncatedMultiplier",
+    "RoundedMultiplier",
+    "BoothMultiplier",
+    "booth_encode",
+    "booth_decode",
+    "booth_digit_count",
+    "booth_partial_products",
+    "AAMMultiplier",
+    "ABMMultiplier",
+]

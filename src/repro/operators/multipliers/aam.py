@@ -1,0 +1,132 @@
+"""Approximate Array Multiplier (AAM) — Van, Wang, Feng, 2000.
+
+AAM is a *fixed-width* array multiplier: ``N`` x ``N`` input bits produce an
+``N``-bit output (the most significant half of the product).  Compared with a
+full array, the cells below the main anti-diagonal of the partial-product
+array are pruned, and a compensation term — derived with simple AND/OR logic
+from the cells sitting on that diagonal — estimates the carries the pruned
+triangle would have injected into the kept half.
+
+The functional model works on the signed partial-product decomposition of the
+two's-complement product (the Baugh-Wooley signs are carried by the cell
+values), keeps the cells of weight ``>= 2**N``, and adds the compensation
+estimated from the ``i + j = N - 1`` diagonal.  The result is the upper-half
+product, bit-accurate with respect to this structural description.
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...fxp.quantize import wrap_to_width
+from ..base import MultiplierOperator
+from ..bitops import get_bit, to_unsigned
+
+
+class AAMMultiplier(MultiplierOperator):
+    """Approximate (fixed-width, pruned, compensated) array multiplier ``AAM(N)``.
+
+    Parameters
+    ----------
+    input_width:
+        Operand width ``N``; the output is also ``N`` bits wide.
+    compensation:
+        Whether the diagonal-based carry compensation is applied.  Disabling
+        it degenerates into a plainly pruned array (ablation target).
+    """
+
+    def __init__(self, input_width: int = 16, compensation: bool = True) -> None:
+        super().__init__(input_width)
+        self._compensation = bool(compensation)
+
+    # ------------------------------------------------------------------ #
+    # Descriptors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        suffix = "" if self._compensation else ",nocomp"
+        return f"AAM({self.input_width}{suffix})"
+
+    @property
+    def compensation(self) -> bool:
+        return self._compensation
+
+    @property
+    def output_width(self) -> int:
+        return self.input_width
+
+    @property
+    def output_shift(self) -> int:
+        return self.input_width
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return {
+            "input_width": self.input_width,
+            "compensation": self._compensation,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Functional model
+    # ------------------------------------------------------------------ #
+    def _cell_sign(self, i: int, j: int) -> int:
+        """Sign of partial-product cell ``(i, j)`` for two's-complement operands.
+
+        Writing ``a = -a_{N-1} 2^{N-1} + sum a_i 2^i`` (same for ``b``), the
+        cross terms involving exactly one sign bit are negative.
+        """
+        n = self.input_width
+        negatives = (i == n - 1) ^ (j == n - 1)
+        return -1 if negatives else 1
+
+    def _dropped_sum(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Signed value of every pruned cell (columns ``i + j <= N - 2``) plus
+        the diagonal cells (column ``N - 1``), which are also removed from the
+        array and only contribute through the compensation estimate."""
+        n = self.input_width
+        ua = to_unsigned(a, n)
+        ub = to_unsigned(b, n)
+        total = np.zeros_like(ua)
+        for i in range(n):
+            for j in range(0, n - i):
+                cell = get_bit(ua, i) & get_bit(ub, j)
+                weight = self._cell_sign(i, j) * (1 << (i + j))
+                total = total + cell * weight
+        return total
+
+    def _diagonal_ones(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Number of asserted AND terms on the ``i + j = N - 1`` diagonal."""
+        n = self.input_width
+        ua = to_unsigned(a, n)
+        ub = to_unsigned(b, n)
+        count = np.zeros_like(ua)
+        for i in range(n):
+            count = count + (get_bit(ua, i) & get_bit(ub, n - 1 - i))
+        return count
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        n = self.input_width
+        product = self.reference(a, b)
+        kept = product - self._dropped_sum(a, b)
+        if self._compensation:
+            # Each asserted diagonal AND term statistically contributes half a
+            # carry into column N; the AND/OR compensation circuit realises
+            # ceil(count / 2), which is what the functional model uses.
+            comp = (self._diagonal_ones(a, b) + 1) >> 1
+            kept = kept + (comp << n)
+        result = kept >> n
+        return np.asarray(wrap_to_width(result, n), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Analysis helpers
+    # ------------------------------------------------------------------ #
+    def pruned_cell_count(self) -> int:
+        """Number of AND cells removed from the full array (incl. diagonal)."""
+        n = self.input_width
+        return n * (n + 1) // 2
+
+    def kept_cell_count(self) -> int:
+        """Number of AND cells remaining in the array."""
+        n = self.input_width
+        return n * n - self.pruned_cell_count()

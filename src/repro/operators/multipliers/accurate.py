@@ -1,0 +1,109 @@
+"""Accurate and carefully-sized (truncated / rounded) fixed-point multipliers.
+
+* :class:`ExactMultiplier` — full ``2N``-bit product, the accuracy reference
+  ("the 16 to 32 integer multiplier is considered as the correct multiplier").
+* :class:`TruncatedMultiplier` (``MULt``) — fixed-width multiplier keeping the
+  ``k`` most-significant bits of the product by truncation.  ``MULt(16, 16)``
+  is the paper's data-sized competitor to AAM and ABM.
+* :class:`RoundedMultiplier` (``MULr``) — same with round-half-up.
+
+As with the adders, the energy benefit of data sizing comes from the narrower
+output: fewer partial-product columns have to be summed, and everything
+downstream of the multiplier shrinks accordingly.
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...fxp.quantize import RoundingMode, drop_lsbs, wrap_to_width
+from ..base import MultiplierOperator
+
+
+class ExactMultiplier(MultiplierOperator):
+    """Accurate ``N`` x ``N`` -> ``2N`` multiplier."""
+
+    def __init__(self, input_width: int = 16) -> None:
+        super().__init__(input_width)
+
+    @property
+    def name(self) -> str:
+        return f"MUL({self.input_width},{2 * self.input_width})"
+
+    @property
+    def output_width(self) -> int:
+        return 2 * self.input_width
+
+    @property
+    def output_shift(self) -> int:
+        return 0
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return {"input_width": self.input_width}
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.reference(a, b)
+
+
+class QuantizedOutputMultiplier(MultiplierOperator):
+    """Shared implementation of the data-sized (``MULt`` / ``MULr``) multipliers.
+
+    The exact product is computed and the ``2N - k`` least significant bits
+    are eliminated with the configured rounding mode, keeping a ``k``-bit
+    output.  ``MULt(16, 16)`` is the classical fixed-width multiplier.
+    """
+
+    rounding_mode: RoundingMode = RoundingMode.TRUNCATE
+    mnemonic: str = "MULt"
+
+    def __init__(self, input_width: int = 16, output_width: int = 16) -> None:
+        super().__init__(input_width)
+        if not 2 <= output_width <= 2 * input_width:
+            raise ValueError("output width must lie in [2, 2 * input_width]")
+        self._output_width = int(output_width)
+
+    @property
+    def name(self) -> str:
+        return f"{self.mnemonic}({self.input_width},{self._output_width})"
+
+    @property
+    def output_width(self) -> int:
+        return self._output_width
+
+    @property
+    def dropped_bits(self) -> int:
+        """Number of product LSBs eliminated."""
+        return 2 * self.input_width - self._output_width
+
+    @property
+    def output_shift(self) -> int:
+        return self.dropped_bits
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return {
+            "input_width": self.input_width,
+            "output_width": self._output_width,
+            "rounding": self.rounding_mode.value,
+        }
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        product = self.reference(a, b)
+        reduced = np.asarray(drop_lsbs(product, self.dropped_bits, self.rounding_mode))
+        return np.asarray(wrap_to_width(reduced, self._output_width), dtype=np.int64)
+
+
+class TruncatedMultiplier(QuantizedOutputMultiplier):
+    """``MULt(N, k)``: keep the ``k`` MSBs of the product by truncation."""
+
+    rounding_mode = RoundingMode.TRUNCATE
+    mnemonic = "MULt"
+
+
+class RoundedMultiplier(QuantizedOutputMultiplier):
+    """``MULr(N, k)``: keep the ``k`` MSBs of the product by rounding."""
+
+    rounding_mode = RoundingMode.ROUND
+    mnemonic = "MULr"

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test-suite."""
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20170301)
+
+
+@pytest.fixture(scope="session")
+def small_image():
+    """Small synthetic image shared by the application tests."""
+    from repro.apps.images import synthetic_image
+
+    return synthetic_image(64, seed=5)
+
+
+@pytest.fixture(scope="session")
+def point_cloud():
+    """Small clustering workload shared by the K-means tests."""
+    from repro.apps.kmeans import generate_point_cloud
+
+    return generate_point_cloud(points_per_run=600, clusters=6, seed=3)

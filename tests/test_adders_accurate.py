@@ -1,0 +1,129 @@
+"""Tests for the accurate and data-sized (truncated / rounded) adders."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators import (
+    ExactAdder,
+    RoundToNearestEvenAdder,
+    RoundedAdder,
+    TruncatedAdder,
+)
+
+int16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+
+class TestExactAdder:
+    def test_is_exact_on_exhaustive_small_width(self):
+        adder = ExactAdder(6)
+        a, b = adder.exhaustive_inputs()
+        assert np.all(adder.error(a, b) == 0)
+
+    def test_wraps_modulo_two_complement(self):
+        adder = ExactAdder(8)
+        assert adder.compute(np.array([127]), np.array([1]))[0] == -128
+
+    def test_name_and_params(self):
+        adder = ExactAdder(16)
+        assert adder.name == "ADD(16)"
+        assert adder.params["input_width"] == 16
+        assert adder.output_shift == 0
+        assert adder.is_exact()
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            ExactAdder(1)
+
+    @settings(max_examples=60)
+    @given(a=int16, b=int16)
+    def test_matches_python_modular_addition(self, a, b):
+        adder = ExactAdder(16)
+        total = (a + b + (1 << 15)) % (1 << 16) - (1 << 15)
+        assert int(adder.compute(np.array([a]), np.array([b]))[0]) == total
+
+
+class TestTruncatedAdder:
+    def test_output_width_and_shift(self):
+        adder = TruncatedAdder(16, 10)
+        assert adder.output_width == 10
+        assert adder.output_shift == 6
+        assert adder.dropped_bits == 6
+        assert adder.name == "ADDt(16,10)"
+
+    def test_error_is_nonnegative_and_bounded(self):
+        adder = TruncatedAdder(16, 10)
+        a, b = adder.random_inputs(5000, np.random.default_rng(0))
+        error = adder.error(a, b)
+        assert np.all(error >= 0)
+        assert np.all(error < (1 << adder.dropped_bits))
+
+    def test_full_width_output_is_exact(self):
+        adder = TruncatedAdder(16, 16)
+        a, b = adder.random_inputs(2000, np.random.default_rng(1))
+        assert np.all(adder.error(a, b) == 0)
+
+    def test_mse_increases_as_output_shrinks(self):
+        rng = np.random.default_rng(2)
+        previous = -1.0
+        for width in (14, 10, 6, 3):
+            adder = TruncatedAdder(16, width)
+            a, b = adder.random_inputs(20000, rng)
+            mse = float(np.mean(adder.normalized_error(a, b) ** 2))
+            assert mse > previous
+            previous = mse
+
+    def test_invalid_output_width_rejected(self):
+        with pytest.raises(ValueError):
+            TruncatedAdder(16, 1)
+        with pytest.raises(ValueError):
+            TruncatedAdder(16, 17)
+
+    @settings(max_examples=40)
+    @given(a=int16, b=int16, width=st.integers(min_value=2, max_value=15))
+    def test_truncation_matches_shifted_reference(self, a, b, width):
+        adder = TruncatedAdder(16, width)
+        reference = int(adder.reference(np.array([a]), np.array([b]))[0])
+        computed = int(adder.compute(np.array([a]), np.array([b]))[0])
+        assert computed == reference >> (16 - width)
+
+
+class TestRoundedAdder:
+    def test_rounding_has_smaller_mse_than_truncation(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(-(1 << 15), 1 << 15, 50_000)
+        b = rng.integers(-(1 << 15), 1 << 15, 50_000)
+        trunc = TruncatedAdder(16, 10)
+        rounded = RoundedAdder(16, 10)
+        mse_t = float(np.mean(trunc.normalized_error(a, b) ** 2))
+        mse_r = float(np.mean(rounded.normalized_error(a, b) ** 2))
+        assert mse_r < mse_t
+
+    def test_rounding_bias_is_smaller_than_truncation_bias(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(-(1 << 15), 1 << 15, 50_000)
+        b = rng.integers(-(1 << 15), 1 << 15, 50_000)
+        trunc_bias = abs(float(np.mean(TruncatedAdder(16, 8).normalized_error(a, b))))
+        round_bias = abs(float(np.mean(RoundedAdder(16, 8).normalized_error(a, b))))
+        assert round_bias < trunc_bias
+
+    def test_rne_is_nearly_unbiased(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(-(1 << 15), 1 << 15, 50_000)
+        b = rng.integers(-(1 << 15), 1 << 15, 50_000)
+        adder = RoundToNearestEvenAdder(16, 8)
+        bias = float(np.mean(adder.normalized_error(a, b)))
+        step = 2.0 ** (adder.dropped_bits - 15)
+        assert abs(bias) < step / 10
+
+    def test_saturation_on_rounding_overflow(self):
+        """Rounding the most positive sum must saturate, not wrap."""
+        adder = RoundedAdder(16, 8)
+        a = np.array([32767], dtype=np.int64)
+        b = np.array([0], dtype=np.int64)
+        result = int(adder.compute(a, b)[0])
+        assert result == 127  # saturated to the 8-bit maximum
+
+    def test_names(self):
+        assert RoundedAdder(16, 12).name == "ADDr(16,12)"
+        assert RoundToNearestEvenAdder(16, 12).name == "ADDrne(16,12)"

@@ -1,0 +1,203 @@
+"""Tests for the approximate adders (ACA, ETAII/ETAIV, RCAApx)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators import (
+    ACAAdder,
+    ETAIIAdder,
+    ETAIVAdder,
+    ExactAdder,
+    RCAApxAdder,
+)
+from repro.operators.adders import (
+    APPROX_FA_TYPE1,
+    APPROX_FA_TYPE2,
+    APPROX_FA_TYPE3,
+    EXACT_FA,
+    FullAdderTruthTable,
+)
+
+
+def _mse(operator, samples=30_000, seed=1):
+    a, b = operator.random_inputs(samples, np.random.default_rng(seed))
+    return float(np.mean(operator.normalized_error(a, b) ** 2))
+
+
+class TestACA:
+    def test_full_prediction_depth_is_exact(self):
+        aca = ACAAdder(8, 8)
+        a, b = aca.exhaustive_inputs()
+        assert np.all(aca.error(a, b) == 0)
+
+    def test_small_prediction_depth_errs_sometimes(self):
+        aca = ACAAdder(8, 2)
+        a, b = aca.exhaustive_inputs()
+        assert np.any(aca.error(a, b) != 0)
+
+    def test_accuracy_improves_with_prediction_depth(self):
+        assert _mse(ACAAdder(16, 4)) > _mse(ACAAdder(16, 8)) > _mse(ACAAdder(16, 14))
+
+    def test_errors_are_rare_but_large(self):
+        """ACA is a 'fail rare' operator: low error rate, high amplitude."""
+        aca = ACAAdder(16, 8)
+        a, b = aca.random_inputs(50_000, np.random.default_rng(2))
+        error = aca.error(a, b)
+        rate = float(np.mean(error != 0))
+        assert rate < 0.1
+        assert np.max(np.abs(error)) >= (1 << 8)
+
+    def test_error_only_in_speculated_positions(self):
+        aca = ACAAdder(16, 6)
+        a, b = aca.random_inputs(20_000, np.random.default_rng(3))
+        error = aca.error(a, b)
+        nonzero = error[error != 0]
+        assert np.all(np.abs(nonzero) >= (1 << 6) / 2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ACAAdder(16, 0)
+        with pytest.raises(ValueError):
+            ACAAdder(16, 17)
+
+    def test_name_and_params(self):
+        aca = ACAAdder(16, 12)
+        assert aca.name == "ACA(16,12)"
+        assert aca.params["prediction_bits"] == 12
+        assert aca.worst_case_error_magnitude() == (1 << 16) - (1 << 12)
+
+    @settings(max_examples=40)
+    @given(a=st.integers(min_value=-128, max_value=127),
+           b=st.integers(min_value=-128, max_value=127))
+    def test_matches_window_definition(self, a, b):
+        """Each output bit equals the corresponding bit of its window sum."""
+        p = 3
+        aca = ACAAdder(8, p)
+        result = int(aca.compute(np.array([a]), np.array([b]))[0]) & 0xFF
+        ua, ub = a & 0xFF, b & 0xFF
+        for i in range(8):
+            low = max(0, i - p)
+            window_sum = ((ua >> low) & ((1 << (i - low + 1)) - 1)) \
+                + ((ub >> low) & ((1 << (i - low + 1)) - 1))
+            assert (result >> i) & 1 == (window_sum >> (i - low)) & 1
+
+
+class TestETA:
+    def test_single_block_is_exact(self):
+        eta = ETAIVAdder(8, 8)
+        a, b = eta.exhaustive_inputs()
+        assert np.all(eta.error(a, b) == 0)
+
+    def test_etaiv_more_accurate_than_etaii(self):
+        assert _mse(ETAIVAdder(16, 4)) < _mse(ETAIIAdder(16, 4))
+
+    def test_accuracy_improves_with_block_size(self):
+        assert _mse(ETAIVAdder(16, 2)) > _mse(ETAIVAdder(16, 4)) > _mse(ETAIVAdder(16, 8))
+
+    def test_block_size_must_divide_width(self):
+        with pytest.raises(ValueError):
+            ETAIVAdder(16, 3)
+
+    def test_lsb_block_always_exact(self):
+        eta = ETAIVAdder(16, 4)
+        a, b = eta.random_inputs(20_000, np.random.default_rng(5))
+        error = eta.error(a, b)
+        # Errors are carry misses into blocks above the first: multiples of 16.
+        assert np.all(error % (1 << 4) == 0)
+
+    def test_speculation_window(self):
+        assert ETAIVAdder(16, 4).speculation_window_bits() == 8
+        assert ETAIIAdder(16, 4).speculation_window_bits() == 4
+
+    def test_names(self):
+        assert ETAIVAdder(16, 4).name == "ETAIV(16,4)"
+        assert ETAIIAdder(16, 2).name == "ETAII(16,2)"
+
+
+class TestApproximateFullAdderCells:
+    def test_exact_cell_matches_arithmetic(self):
+        for index in range(8):
+            a, b, cin = (index >> 2) & 1, (index >> 1) & 1, index & 1
+            s, c = EXACT_FA.evaluate(np.array([a]), np.array([b]), np.array([cin]))
+            assert 2 * int(c[0]) + int(s[0]) == a + b + cin
+
+    def test_cell_error_counts_are_ordered(self):
+        errors = [cell.sum_error_count() + cell.carry_error_count()
+                  for cell in (APPROX_FA_TYPE1, APPROX_FA_TYPE2, APPROX_FA_TYPE3)]
+        assert errors[0] <= errors[1] <= errors[2]
+        assert errors[0] > 0
+
+    def test_type1_has_exact_carry(self):
+        assert APPROX_FA_TYPE1.carry_error_count() == 0
+
+    def test_truth_table_validation(self):
+        with pytest.raises(ValueError):
+            FullAdderTruthTable("bad", (0,) * 7, (0,) * 8)
+        with pytest.raises(ValueError):
+            FullAdderTruthTable("bad", (0, 0, 0, 0, 0, 0, 0, 2), (0,) * 8)
+
+
+class TestRCAApx:
+    def test_zero_approximate_lsbs_is_exact(self):
+        adder = RCAApxAdder(8, 0, 1)
+        a, b = adder.exhaustive_inputs()
+        assert np.all(adder.error(a, b) == 0)
+
+    def test_accuracy_degrades_with_more_approximate_lsbs(self):
+        assert _mse(RCAApxAdder(16, 4, 1)) < _mse(RCAApxAdder(16, 8, 1)) \
+            < _mse(RCAApxAdder(16, 12, 1))
+
+    def test_cell_types_sorted_by_decreasing_accuracy(self):
+        """The paper states types 1..3 are sorted by decreasing accuracy."""
+        mse_by_type = [_mse(RCAApxAdder(16, 8, t), samples=60_000) for t in (1, 2, 3)]
+        assert mse_by_type[0] <= mse_by_type[1] <= mse_by_type[2] * 1.05
+
+    def test_msb_part_protected(self):
+        """Errors stay confined to the approximate LSB part plus one carry
+        (up to the modular wrap of the 16-bit result)."""
+        adder = RCAApxAdder(16, 6, 3)
+        a, b = adder.random_inputs(30_000, np.random.default_rng(6))
+        error = np.abs(adder.error(a, b))
+        wrapped = np.minimum(error, (1 << 16) - error)
+        assert np.max(wrapped) <= (1 << 7)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RCAApxAdder(16, 17, 1)
+        with pytest.raises(ValueError):
+            RCAApxAdder(16, 4, 5)
+
+    def test_name_and_accessors(self):
+        adder = RCAApxAdder(16, 6, 3)
+        assert adder.name == "RCAApx(16,6,3)"
+        assert adder.approximate_bits == 6
+        assert adder.accurate_bits == 10
+        assert adder.approximate_cell is APPROX_FA_TYPE3
+
+
+class TestCrossOperatorBehaviour:
+    def test_all_approximate_adders_keep_reference_semantics(self):
+        """The reference of every adder is the accurate modular sum."""
+        exact = ExactAdder(16)
+        rng = np.random.default_rng(7)
+        a = rng.integers(-(1 << 15), 1 << 15, 1000)
+        b = rng.integers(-(1 << 15), 1 << 15, 1000)
+        expected = exact.compute(a, b)
+        for operator in (ACAAdder(16, 6), ETAIVAdder(16, 4), RCAApxAdder(16, 8, 2)):
+            assert np.array_equal(operator.reference(a, b), expected)
+
+    def test_fail_small_vs_fail_rare_classification(self):
+        """Truncation errs often with small amplitude; ACA errs rarely with
+        large amplitude — the error-type classification used in the paper."""
+        from repro.operators import TruncatedAdder
+
+        rng = np.random.default_rng(8)
+        a = rng.integers(-(1 << 15), 1 << 15, 50_000)
+        b = rng.integers(-(1 << 15), 1 << 15, 50_000)
+        trunc = TruncatedAdder(16, 10)
+        aca = ACAAdder(16, 10)
+        trunc_error = trunc.error(a, b)
+        aca_error = aca.error(a, b)
+        assert np.mean(trunc_error != 0) > np.mean(aca_error != 0)
+        assert np.max(np.abs(aca_error)) > np.max(np.abs(trunc_error))

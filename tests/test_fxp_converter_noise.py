@@ -1,0 +1,121 @@
+"""Tests for float<->fixed conversion, range analysis and the noise model."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fxp import (
+    FxpFormat,
+    Q15,
+    QuantizationNoiseModel,
+    RoundingMode,
+    format_for,
+    predicted_mse_db,
+    quantization_error,
+    requantize,
+    required_integer_bits,
+    to_fixed,
+    to_float,
+)
+
+
+class TestConversion:
+    def test_roundtrip_of_representable_value(self):
+        assert to_float(to_fixed(0.5, Q15), Q15) == pytest.approx(0.5)
+
+    def test_rounding_error_bounded_by_half_lsb(self):
+        value = 0.1234567
+        code = to_fixed(value, Q15, mode=RoundingMode.ROUND)
+        assert abs(to_float(code, Q15) - value) <= Q15.scale / 2
+
+    def test_saturation_of_out_of_range_value(self):
+        assert to_fixed(2.0, Q15) == Q15.max_int
+        assert to_fixed(-2.0, Q15) == Q15.min_int
+
+    def test_array_conversion(self):
+        values = np.array([-0.5, 0.0, 0.25])
+        codes = to_fixed(values, Q15)
+        assert np.array_equal(codes, [-16384, 0, 8192])
+
+    def test_quantization_error_zero_for_exact_grid_point(self):
+        error = quantization_error(0.25, Q15)
+        assert error == pytest.approx(0.0)
+
+    @settings(max_examples=50)
+    @given(value=st.floats(min_value=-0.999, max_value=0.999))
+    def test_quantization_error_bounded(self, value):
+        error = quantization_error(value, Q15)
+        assert abs(error) <= Q15.scale / 2 + 1e-12
+
+
+class TestRangeAnalysis:
+    def test_required_integer_bits_for_unit_range(self):
+        assert required_integer_bits([0.5, -0.9]) == 0
+
+    def test_required_integer_bits_grows_with_magnitude(self):
+        assert required_integer_bits([3.2]) == 2
+        assert required_integer_bits([100.0]) == 7
+
+    def test_required_integer_bits_empty_and_zero(self):
+        assert required_integer_bits([]) == 0
+        assert required_integer_bits([0.0]) == 0
+
+    def test_format_for_allocates_remaining_bits_to_fraction(self):
+        fmt = format_for([3.0, -2.5], word_length=16)
+        assert fmt.integer_bits == 2
+        assert fmt.frac_bits == 13
+
+    def test_format_for_rejects_too_small_word(self):
+        with pytest.raises(ValueError):
+            format_for([1000.0], word_length=8)
+
+    def test_requantize_reduces_precision(self):
+        src = FxpFormat.q(1, 15)
+        dst = FxpFormat.q(1, 7)
+        assert requantize(32767, src, dst) == 127
+        assert requantize(256, src, dst) == 1
+
+    def test_requantize_can_increase_precision(self):
+        src = FxpFormat.q(1, 7)
+        dst = FxpFormat.q(1, 15)
+        assert requantize(1, src, dst) == 256
+
+
+class TestNoiseModel:
+    def test_zero_dropped_bits_is_noiseless(self):
+        model = QuantizationNoiseModel(dropped_bits=0)
+        assert model.variance == 0.0
+        assert model.mse_db == float("-inf")
+
+    def test_variance_grows_with_dropped_bits(self):
+        low = QuantizationNoiseModel(dropped_bits=2)
+        high = QuantizationNoiseModel(dropped_bits=6)
+        assert high.variance > low.variance
+
+    def test_truncation_bias_is_positive(self):
+        model = QuantizationNoiseModel(dropped_bits=4, mode=RoundingMode.TRUNCATE)
+        assert model.mean > 0.0
+
+    def test_rne_is_unbiased(self):
+        model = QuantizationNoiseModel(dropped_bits=4,
+                                       mode=RoundingMode.ROUND_TO_NEAREST_EVEN)
+        assert model.mean == 0.0
+
+    def test_predicted_mse_db_matches_measured_truncation(self):
+        """The analytical model must agree with a direct simulation."""
+        rng = np.random.default_rng(0)
+        codes = rng.integers(-(1 << 15), 1 << 15, size=200_000)
+        dropped = 6
+        restored = (codes >> dropped) << dropped
+        measured = np.mean(((codes - restored) * 2.0 ** -15) ** 2)
+        predicted = predicted_mse_db(dropped, frac_bits=15)
+        assert 10 * np.log10(measured) == pytest.approx(predicted, abs=0.3)
+
+    def test_snr_requires_positive_signal_power(self):
+        model = QuantizationNoiseModel(dropped_bits=3)
+        with pytest.raises(ValueError):
+            model.snr_db(0.0)
+
+    def test_snr_increases_with_signal_power(self):
+        model = QuantizationNoiseModel(dropped_bits=3, lsb_weight=2.0 ** -15)
+        assert model.snr_db(1.0) > model.snr_db(0.01)

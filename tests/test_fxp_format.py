@@ -1,0 +1,102 @@
+"""Unit tests for the fixed-point format descriptors."""
+import math
+
+import pytest
+
+from repro.fxp import FxpFormat, Q15, Q30
+
+
+class TestFxpFormat:
+    def test_word_length_counts_sign_bit(self):
+        assert FxpFormat(integer_bits=0, frac_bits=15, signed=True).word_length == 16
+        assert FxpFormat(integer_bits=3, frac_bits=4, signed=False).word_length == 7
+
+    def test_q_notation_matches_classical_q115(self):
+        fmt = FxpFormat.q(1, 15)
+        assert fmt.word_length == 16
+        assert fmt.integer_bits == 0
+        assert fmt.frac_bits == 15
+
+    def test_q15_constant(self):
+        assert Q15.word_length == 16
+        assert Q15.min_value == -1.0
+        assert Q15.max_value == pytest.approx(1.0 - 2 ** -15)
+
+    def test_q30_constant_is_product_format(self):
+        assert Q30.word_length == 32
+        assert Q30.frac_bits == 30
+
+    def test_scale_is_lsb_weight(self):
+        assert Q15.scale == pytest.approx(2.0 ** -15)
+
+    def test_min_max_int_signed(self):
+        fmt = FxpFormat.q(1, 7)
+        assert fmt.min_int == -128
+        assert fmt.max_int == 127
+
+    def test_min_max_int_unsigned(self):
+        fmt = FxpFormat(integer_bits=4, frac_bits=4, signed=False)
+        assert fmt.min_int == 0
+        assert fmt.max_int == 255
+
+    def test_for_word_length_defaults_to_pure_fraction(self):
+        fmt = FxpFormat.for_word_length(16)
+        assert fmt.frac_bits == 15
+        assert fmt.integer_bits == 0
+
+    def test_for_word_length_with_explicit_frac(self):
+        fmt = FxpFormat.for_word_length(16, frac_bits=10)
+        assert fmt.integer_bits == 5
+
+    def test_for_word_length_rejects_too_many_frac_bits(self):
+        with pytest.raises(ValueError):
+            FxpFormat.for_word_length(8, frac_bits=9)
+
+    def test_drop_lsbs_removes_fractional_bits_first(self):
+        fmt = FxpFormat(integer_bits=3, frac_bits=5)
+        reduced = fmt.drop_lsbs(4)
+        assert reduced.frac_bits == 1
+        assert reduced.integer_bits == 3
+
+    def test_drop_lsbs_overflows_into_integer_part(self):
+        fmt = FxpFormat(integer_bits=3, frac_bits=2)
+        reduced = fmt.drop_lsbs(4)
+        assert reduced.frac_bits == 0
+        assert reduced.integer_bits == 1
+
+    def test_drop_all_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Q15.drop_lsbs(16)
+
+    def test_can_represent_bounds(self):
+        assert Q15.can_represent(0.5)
+        assert Q15.can_represent(-1.0)
+        assert not Q15.can_represent(1.0)
+
+    def test_negative_widths_rejected(self):
+        with pytest.raises(ValueError):
+            FxpFormat(integer_bits=-1, frac_bits=4)
+        with pytest.raises(ValueError):
+            FxpFormat(integer_bits=1, frac_bits=-1)
+
+    def test_q_notation_requires_sign_bit(self):
+        with pytest.raises(ValueError):
+            FxpFormat.q(0, 15)
+
+    def test_dynamic_range_increases_with_width(self):
+        narrow = FxpFormat.q(1, 7)
+        wide = FxpFormat.q(1, 15)
+        assert wide.dynamic_range_db > narrow.dynamic_range_db
+
+    def test_with_frac_bits(self):
+        fmt = Q15.with_frac_bits(7)
+        assert fmt.frac_bits == 7
+        assert fmt.signed is True
+
+    def test_resolution_alias(self):
+        assert Q15.resolution == Q15.scale
+
+    def test_dynamic_range_value(self):
+        fmt = FxpFormat.q(1, 15)
+        expected = 20.0 * math.log10(fmt.max_int - fmt.min_int)
+        assert fmt.dynamic_range_db == pytest.approx(expected)

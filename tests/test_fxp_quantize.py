@@ -1,0 +1,130 @@
+"""Unit and property-based tests for the quantisation primitives."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fxp import (
+    OverflowMode,
+    RoundingMode,
+    drop_lsbs,
+    fit_to_width,
+    quantize,
+    restore_lsbs,
+    round_lsbs,
+    round_lsbs_to_even,
+    saturate_to_width,
+    truncate_lsbs,
+    wrap_to_width,
+)
+
+int16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+
+class TestTruncation:
+    def test_truncate_positive(self):
+        assert truncate_lsbs(0b1011, 2) == 0b10
+
+    def test_truncate_negative_rounds_toward_minus_infinity(self):
+        assert truncate_lsbs(-5, 1) == -3
+
+    def test_truncate_zero_bits_is_identity(self):
+        assert truncate_lsbs(123, 0) == 123
+
+    def test_truncate_array(self):
+        out = truncate_lsbs(np.array([4, 5, 6, 7]), 2)
+        assert np.array_equal(out, [1, 1, 1, 1])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_lsbs(3, -1)
+
+    @settings(max_examples=60)
+    @given(value=int16, count=st.integers(min_value=0, max_value=12))
+    def test_truncation_error_bounds(self, value, count):
+        restored = restore_lsbs(truncate_lsbs(value, count), count)
+        error = value - restored
+        assert 0 <= error < (1 << count)
+
+
+class TestRounding:
+    def test_round_half_up(self):
+        assert round_lsbs(0b101, 1) == 0b11   # 5 -> 2.5 -> 3
+        assert round_lsbs(0b100, 1) == 0b10   # 4 -> 2
+
+    def test_round_to_even_breaks_ties_to_even(self):
+        assert round_lsbs_to_even(2, 2) == 0    # 0.5 -> 0 (even)
+        assert round_lsbs_to_even(6, 2) == 2    # 1.5 -> 2 (even)
+
+    def test_round_to_even_non_tie(self):
+        assert round_lsbs_to_even(7, 2) == 2    # 1.75 -> 2
+
+    @settings(max_examples=60)
+    @given(value=int16, count=st.integers(min_value=1, max_value=12))
+    def test_rounding_error_bounded_by_half_step(self, value, count):
+        restored = restore_lsbs(round_lsbs(value, count), count)
+        assert abs(value - restored) <= (1 << count) // 2
+
+    @settings(max_examples=60)
+    @given(value=int16, count=st.integers(min_value=1, max_value=12))
+    def test_rne_error_bounded_by_half_step(self, value, count):
+        restored = restore_lsbs(round_lsbs_to_even(value, count), count)
+        assert abs(value - restored) <= (1 << count) // 2
+
+    def test_dispatch_matches_direct_calls(self):
+        assert drop_lsbs(77, 3, RoundingMode.TRUNCATE) == truncate_lsbs(77, 3)
+        assert drop_lsbs(77, 3, RoundingMode.ROUND) == round_lsbs(77, 3)
+        assert drop_lsbs(77, 3, RoundingMode.ROUND_TO_NEAREST_EVEN) \
+            == round_lsbs_to_even(77, 3)
+
+    def test_mode_from_string(self):
+        assert RoundingMode.from_string("trunc") is RoundingMode.TRUNCATE
+        assert RoundingMode.from_string("Round") is RoundingMode.ROUND
+        assert RoundingMode.from_string("rne") is RoundingMode.ROUND_TO_NEAREST_EVEN
+        with pytest.raises(ValueError):
+            RoundingMode.from_string("bogus")
+
+
+class TestWidthFitting:
+    def test_wrap_behaves_as_twos_complement(self):
+        assert wrap_to_width(128, 8) == -128
+        assert wrap_to_width(-129, 8) == 127
+        assert wrap_to_width(255, 8, signed=False) == 255
+
+    def test_saturate_clamps(self):
+        assert saturate_to_width(1000, 8) == 127
+        assert saturate_to_width(-1000, 8) == -128
+        assert saturate_to_width(300, 8, signed=False) == 255
+
+    def test_fit_dispatch(self):
+        assert fit_to_width(130, 8, overflow=OverflowMode.WRAP) == -126
+        assert fit_to_width(130, 8, overflow=OverflowMode.SATURATE) == 127
+
+    @settings(max_examples=60)
+    @given(value=st.integers(min_value=-(1 << 30), max_value=1 << 30),
+           width=st.integers(min_value=2, max_value=20))
+    def test_wrap_is_idempotent(self, value, width):
+        once = wrap_to_width(value, width)
+        assert wrap_to_width(once, width) == once
+        assert -(1 << (width - 1)) <= once < (1 << (width - 1))
+
+    @settings(max_examples=60)
+    @given(value=st.integers(min_value=-(1 << 30), max_value=1 << 30),
+           width=st.integers(min_value=2, max_value=20))
+    def test_saturate_stays_in_range(self, value, width):
+        result = saturate_to_width(value, width)
+        assert -(1 << (width - 1)) <= result <= (1 << (width - 1)) - 1
+
+    def test_quantize_combines_drop_and_fit(self):
+        assert quantize(1000, drop=3, width=6) == \
+            wrap_to_width(truncate_lsbs(1000, 3), 6)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            wrap_to_width(3, 0)
+        with pytest.raises(ValueError):
+            saturate_to_width(3, 0)
+
+    def test_restore_lsbs_scales_by_power_of_two(self):
+        assert restore_lsbs(3, 4) == 48
+        assert np.array_equal(restore_lsbs(np.array([1, -1]), 2), [4, -4])

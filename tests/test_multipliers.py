@@ -1,0 +1,175 @@
+"""Tests for the accurate, data-sized and approximate multipliers."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators import (
+    AAMMultiplier,
+    ABMMultiplier,
+    BoothMultiplier,
+    ExactMultiplier,
+    RoundedMultiplier,
+    TruncatedMultiplier,
+)
+from repro.operators.multipliers import booth_decode, booth_encode, booth_digit_count
+
+int12 = st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1)
+
+
+def _mse(operator, samples=20_000, seed=1):
+    a, b = operator.random_inputs(samples, np.random.default_rng(seed))
+    return float(np.mean(operator.normalized_error(a, b) ** 2))
+
+
+class TestExactAndDataSized:
+    def test_exact_multiplier_matches_product(self):
+        mul = ExactMultiplier(8)
+        a, b = mul.exhaustive_inputs()
+        assert np.all(mul.compute(a, b) == a * b)
+        assert np.all(mul.error(a, b) == 0)
+
+    def test_truncated_keeps_top_bits(self):
+        mul = TruncatedMultiplier(16, 16)
+        a = np.array([12345], dtype=np.int64)
+        b = np.array([-23456], dtype=np.int64)
+        assert int(mul.compute(a, b)[0]) == (12345 * -23456) >> 16
+
+    def test_truncated_error_bounded_by_dropped_bits(self):
+        mul = TruncatedMultiplier(16, 16)
+        a, b = mul.random_inputs(10_000, np.random.default_rng(0))
+        error = mul.error(a, b)
+        assert np.all(error >= 0)
+        assert np.all(error < (1 << 16))
+
+    def test_rounded_more_accurate_than_truncated(self):
+        assert _mse(RoundedMultiplier(16, 16)) < _mse(TruncatedMultiplier(16, 16))
+
+    def test_mse_grows_as_output_shrinks(self):
+        assert _mse(TruncatedMultiplier(16, 24)) < _mse(TruncatedMultiplier(16, 16)) \
+            < _mse(TruncatedMultiplier(16, 8))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedMultiplier(16, 1)
+        with pytest.raises(ValueError):
+            TruncatedMultiplier(16, 33)
+        with pytest.raises(ValueError):
+            ExactMultiplier(32)
+
+    def test_names(self):
+        assert TruncatedMultiplier(16, 16).name == "MULt(16,16)"
+        assert RoundedMultiplier(16, 8).name == "MULr(16,8)"
+        assert ExactMultiplier(16).name == "MUL(16,32)"
+
+
+class TestBoothRecoding:
+    def test_digit_count(self):
+        assert booth_digit_count(16) == 8
+        assert booth_digit_count(5) == 3
+
+    @settings(max_examples=80)
+    @given(value=int12)
+    def test_encode_decode_roundtrip(self, value):
+        digits = booth_encode(np.array([value]), 12)
+        assert int(booth_decode(digits)[0]) == value
+
+    @settings(max_examples=40)
+    @given(value=int12)
+    def test_digits_in_radix4_range(self, value):
+        for digit in booth_encode(np.array([value]), 12):
+            assert -2 <= int(digit[0]) <= 2
+
+    def test_booth_multiplier_is_exact(self):
+        mul = BoothMultiplier(7)
+        a, b = mul.exhaustive_inputs()
+        assert np.all(mul.error(a, b) == 0)
+
+    def test_row_count_is_half_the_width(self):
+        assert BoothMultiplier(16).row_count == 8
+
+
+class TestAAM:
+    def test_fixed_width_output(self):
+        aam = AAMMultiplier(16)
+        assert aam.output_width == 16
+        assert aam.output_shift == 16
+        assert aam.name == "AAM(16)"
+
+    def test_accuracy_close_to_truncated_multiplier(self):
+        """Van's compensation keeps AAM within a few dB of plain truncation."""
+        mse_aam = _mse(AAMMultiplier(16))
+        mse_trunc = _mse(TruncatedMultiplier(16, 16))
+        ratio_db = 10 * np.log10(mse_aam / mse_trunc)
+        assert ratio_db < 15.0
+
+    def test_compensation_improves_accuracy(self):
+        assert _mse(AAMMultiplier(16, compensation=True)) \
+            < _mse(AAMMultiplier(16, compensation=False))
+
+    def test_compensation_reduces_bias(self):
+        rng = np.random.default_rng(2)
+        with_comp = AAMMultiplier(12, compensation=True)
+        without = AAMMultiplier(12, compensation=False)
+        a, b = with_comp.random_inputs(30_000, rng)
+        assert abs(np.mean(with_comp.normalized_error(a, b))) \
+            < abs(np.mean(without.normalized_error(a, b)))
+
+    def test_cell_counts(self):
+        aam = AAMMultiplier(16)
+        assert aam.pruned_cell_count() == 16 * 17 // 2
+        assert aam.kept_cell_count() == 256 - aam.pruned_cell_count()
+
+    def test_small_width_errors_bounded(self):
+        aam = AAMMultiplier(6)
+        a, b = aam.exhaustive_inputs()
+        error = np.abs(aam.error(a, b))
+        # Errors stay within a few output LSBs (a few times 2**6).
+        assert np.max(error) < 6 * (1 << 6)
+
+
+class TestABM:
+    def test_fixed_width_output(self):
+        abm = ABMMultiplier(16)
+        assert abm.output_width == 16
+        assert abm.output_shift == 16
+        assert abm.row_count == 8
+
+    def test_catastrophic_mse_with_moderate_ber(self):
+        """Table I's striking asymmetry: ABM's MSE is orders of magnitude
+        worse than MULt while its BER stays comparable."""
+        from repro.metrics import bit_error_rate
+
+        abm = ABMMultiplier(16)
+        mult = TruncatedMultiplier(16, 16)
+        mse_ratio_db = 10 * np.log10(_mse(abm) / _mse(mult))
+        assert mse_ratio_db > 50.0
+
+        rng = np.random.default_rng(3)
+        a, b = abm.random_inputs(20_000, rng)
+        ber_abm = bit_error_rate(abm.reference(a, b), abm.aligned(a, b), 32)
+        ber_mult = bit_error_rate(mult.reference(a, b), mult.aligned(a, b), 32)
+        assert ber_abm < ber_mult + 0.10
+
+    def test_exact_conversion_restores_accuracy(self):
+        """With a full carry-propagate conversion ABM behaves like a normal
+        fixed-width pruned multiplier (the ablation of DESIGN.md)."""
+        exact_conv = ABMMultiplier(16, carry_window=None)
+        assert 10 * np.log10(_mse(exact_conv) / _mse(TruncatedMultiplier(16, 16))) < 20
+
+    def test_carry_window_validation(self):
+        with pytest.raises(ValueError):
+            ABMMultiplier(16, carry_window=0)
+
+    def test_names_capture_variants(self):
+        assert ABMMultiplier(16).name == "ABM(16)"
+        assert "nocomp" in ABMMultiplier(16, compensation=False).name
+        assert "exactconv" in ABMMultiplier(16, carry_window=None).name
+
+    @settings(max_examples=20)
+    @given(a=st.integers(min_value=-128, max_value=127),
+           b=st.integers(min_value=-128, max_value=127))
+    def test_output_within_representable_range(self, a, b):
+        abm = ABMMultiplier(8)
+        result = int(abm.compute(np.array([a]), np.array([b]))[0])
+        assert -(1 << 7) <= result < (1 << 7)
