@@ -19,7 +19,7 @@ from repro.core.exploration import (
     sweep_rcaapx_adders,
     sweep_truncated_adders,
 )
-from repro.experiments.fft_study import _fft_psnr
+from repro.workloads.fft import fft_output_psnr
 from repro.apps.fft import FixedPointFFT, random_q15_signal
 
 PSNR_TARGET_DB = 40.0
@@ -38,7 +38,7 @@ def main() -> None:
     rows = []
     for adder in adders:
         fft = FixedPointFFT(32, 16, adder=adder)
-        psnr = _fft_psnr(fft, signals)
+        psnr = fft_output_psnr(fft, signals)
         multiplier = minimal_multiplier_for(adder)
         energy = energy_model.application_energy_pj(fft.operation_counts(),
                                                     adder, multiplier)

@@ -14,29 +14,45 @@ The package is organised as the paper's APXPERF framework:
   design-space sweeps and the datapath energy model (Equation 1);
 * :mod:`repro.apps` — the four instrumented applications (FFT, JPEG/DCT,
   HEVC motion compensation, K-means);
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.workloads` — the unified workload plugin API wrapping those
+  applications (plus operator characterisation) behind one interface;
+* :mod:`repro.experiments` — one module per paper table/figure, each a thin
+  declarative wrapper over the :class:`Study` pipeline.
 
 Quick start::
 
-    from repro import Apxperf
-    result = Apxperf().characterize("ACA(16,8)")
-    print(result.mse_db, result.pdp_pj)
+    from repro import Study
+    result = (Study()
+              .workload("fft(32, frames=4)")
+              .adders(["ADDt(16,10)", "ACA(16,8)", "ETAIV(16,4)"])
+              .energy()
+              .run())
+    print(result.to_text())
 """
 from .core import (
     Apxperf,
     DatapathEnergyModel,
     ExperimentResult,
     OperatorCharacterization,
+    ResultBundle,
+    Study,
     parse_operator,
 )
+from .workloads import Workload, WorkloadResult, parse_workload, register_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Apxperf",
     "OperatorCharacterization",
     "DatapathEnergyModel",
     "ExperimentResult",
+    "ResultBundle",
+    "Study",
+    "Workload",
+    "WorkloadResult",
     "parse_operator",
+    "parse_workload",
+    "register_workload",
     "__version__",
 ]

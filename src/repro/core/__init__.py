@@ -1,4 +1,5 @@
-"""APXPERF core: registry, characterisation, exploration, datapath energy."""
+"""APXPERF core: registry, characterisation, exploration, datapath energy,
+and the fluent :class:`Study` pipeline tying them together."""
 from .characterization import Apxperf, OperatorCharacterization
 from .datapath import (
     DatapathEnergyBreakdown,
@@ -11,6 +12,7 @@ from .datapath import (
 )
 from .exploration import (
     default_adder_sweep,
+    unique_by_name,
     default_multiplier_set,
     dominates,
     pareto_filter,
@@ -28,10 +30,15 @@ from .registry import (
     create_operator,
     parse_operator,
     parse_operators,
+    parse_spec,
     register_operator,
     registered_mnemonics,
 )
 from .results import ExperimentResult, ResultBundle
+
+# Imported last: the Study pipeline builds on the registries, the energy
+# model and the workload plugin package.
+from .study import Study, SweepOutcome  # noqa: E402  (import order is load-bearing)
 
 __all__ = [
     "Apxperf",
@@ -46,8 +53,12 @@ __all__ = [
     "create_operator",
     "parse_operator",
     "parse_operators",
+    "parse_spec",
     "register_operator",
     "registered_mnemonics",
+    "Study",
+    "SweepOutcome",
+    "unique_by_name",
     "sweep_truncated_adders",
     "sweep_rounded_adders",
     "sweep_aca_adders",

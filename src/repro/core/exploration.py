@@ -84,6 +84,22 @@ def sweep_rcaapx_adders(input_width: int = 16,
     return [RCAApxAdder(input_width, m, t) for t in fa_types for m in approximate_lsbs]
 
 
+def unique_by_name(operators: Iterable[Operator]) -> List[Operator]:
+    """Drop duplicate configurations (same ``name``), keeping first occurrence.
+
+    Sweep helpers can be composed freely; deduplicating by name guarantees a
+    sweep never evaluates — or charges the shared hardware-characterisation
+    cache for — the same configuration twice.
+    """
+    seen = set()
+    unique: List[Operator] = []
+    for operator in operators:
+        if operator.name not in seen:
+            seen.add(operator.name)
+            unique.append(operator)
+    return unique
+
+
 def default_adder_sweep(input_width: int = 16) -> List[Operator]:
     """The full 16-bit adder comparison set of Figures 3 and 4."""
     operators: List[Operator] = []
@@ -92,7 +108,7 @@ def default_adder_sweep(input_width: int = 16) -> List[Operator]:
     operators.extend(sweep_aca_adders(input_width, range(2, input_width, 2)))
     operators.extend(sweep_etaiv_adders(input_width))
     operators.extend(sweep_rcaapx_adders(input_width, range(2, input_width, 2)))
-    return operators
+    return unique_by_name(operators)
 
 
 # --------------------------------------------------------------------------- #

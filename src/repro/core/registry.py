@@ -10,7 +10,7 @@ design into the framework.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..operators.adders import (
     ACAAdder,
@@ -49,8 +49,8 @@ def registered_mnemonics() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def create_operator(mnemonic: str, *args: int, **kwargs: object) -> Operator:
-    """Instantiate an operator from its mnemonic and positional parameters."""
+def create_operator(mnemonic: str, *args: object, **kwargs: object) -> Operator:
+    """Instantiate an operator from its mnemonic and constructor parameters."""
     key = mnemonic.lower()
     if key not in _REGISTRY:
         raise KeyError(f"unknown operator mnemonic {mnemonic!r}; "
@@ -62,23 +62,72 @@ _SPEC_PATTERN = re.compile(r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*"
                            r"(\(\s*(?P<args>[^)]*)\))?\s*$")
 
 
+def _parse_argument_value(raw: str, spec: str) -> object:
+    """Parse one argument token into a bool, int or float."""
+    lowered = raw.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered == "none":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"cannot parse argument {raw!r} in specification "
+                         f"{spec!r}; expected an integer, float or boolean")
+
+
+def parse_spec(spec: str) -> Tuple[str, List[object], Dict[str, object]]:
+    """Split ``"Name(a, b, key=value)"`` into name, positionals and keywords.
+
+    Both the operator registry and the workload registry accept this syntax;
+    values may be integers, floats, booleans (``true``/``false``) or ``none``.
+    Malformed tokens raise :class:`ValueError` naming the offending token.
+    """
+    match = _SPEC_PATTERN.match(spec)
+    if match is None:
+        raise ValueError(f"malformed specification {spec!r}")
+    name = match.group("name")
+    args_text = match.group("args") or ""
+    args: List[object] = []
+    kwargs: Dict[str, object] = {}
+    for token in args_text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" in token:
+            key, _, raw = token.partition("=")
+            key, raw = key.strip(), raw.strip()
+            if not key.isidentifier():
+                raise ValueError(f"malformed keyword argument {token!r} in "
+                                 f"specification {spec!r}")
+            kwargs[key] = _parse_argument_value(raw, spec)
+        else:
+            if kwargs:
+                raise ValueError(f"positional argument {token!r} after a "
+                                 f"keyword argument in specification {spec!r}")
+            args.append(_parse_argument_value(token, spec))
+    return name, args, kwargs
+
+
 def parse_operator(spec: str) -> Operator:
     """Parse a paper-style specification string into an operator instance.
 
     Examples: ``"ADDt(16,10)"``, ``"ACA(16,12)"``, ``"ETAIV(16,4)"``,
-    ``"RCAApx(16,6,3)"``, ``"MULt(16,16)"``, ``"AAM(16)"``, ``"ABM(16)"``.
+    ``"RCAApx(16,6,3)"``, ``"MULt(16,16)"``, ``"AAM(16)"``, ``"ABM(16)"``,
+    and keyword forms such as ``"ACA(16, prediction_bits=12)"``.
     """
-    match = _SPEC_PATTERN.match(spec)
-    if match is None:
-        raise ValueError(f"malformed operator specification {spec!r}")
-    name = match.group("name")
-    args_text = match.group("args") or ""
-    args: List[int] = []
-    for token in args_text.split(","):
-        token = token.strip()
-        if token:
-            args.append(int(token))
-    return create_operator(name, *args)
+    name, args, kwargs = parse_spec(spec)
+    try:
+        return create_operator(name, *args, **kwargs)
+    except TypeError as exc:
+        raise ValueError(f"invalid arguments for operator {name!r} in "
+                         f"specification {spec!r}: {exc}") from exc
 
 
 def parse_operators(specs: Sequence[str]) -> List[Operator]:

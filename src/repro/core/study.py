@@ -1,0 +1,325 @@
+"""Fluent ``Study`` pipeline: the single entry point for every experiment.
+
+A study binds one :class:`~repro.workloads.base.Workload` to an operator
+sweep, charges every sweep point with the datapath energy of Equation 1
+through one *shared* hardware-characterisation cache, and emits a tidy
+:class:`~repro.core.results.ExperimentResult` /
+:class:`~repro.core.results.ResultBundle`::
+
+    from repro import Study
+    result = (Study()
+              .workload("jpeg(size=96)")
+              .adders(default_adder_sweep())
+              .energy(DatapathEnergyModel())
+              .seed(7)
+              .run(workers=4))
+
+Execution is deterministic: the stimulus seed fixes every workload input, the
+functional simulations of the sweep points are independent (and therefore
+parallelisable over a process pool), and energy accounting always happens in
+the parent process against the shared cache — so ``run(workers=4)`` yields
+results identical to ``run(workers=1)``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..operators.adders import ExactAdder
+from ..operators.base import AdderOperator, MultiplierOperator, Operator
+from ..workloads.base import OperatorMap, Workload, WorkloadResult
+from ..workloads.registry import parse_workload
+from .datapath import (
+    DatapathEnergyBreakdown,
+    DatapathEnergyModel,
+    OperationCounts,
+    minimal_multiplier_for,
+)
+from .registry import parse_operator
+from .results import ExperimentResult, ResultBundle
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep point produced; handed to the row builder.
+
+    ``swept`` is the operator under test.  ``adder`` / ``multiplier`` are the
+    operators the energy model charged (for an adder sweep, ``multiplier`` is
+    the energy-pairing partner, e.g. the minimal exact multiplier the adder's
+    emitted data width allows).
+    """
+
+    index: int
+    workload: str
+    swept: Operator
+    adder: Optional[AdderOperator]
+    multiplier: Optional[MultiplierOperator]
+    metrics: Dict[str, float]
+    counts: OperationCounts
+    details: Dict[str, object] = field(default_factory=dict)
+    energy: Optional[DatapathEnergyBreakdown] = None
+    energy_model: Optional[DatapathEnergyModel] = None
+
+
+RowBuilder = Callable[[SweepOutcome], Dict[str, object]]
+OperatorLike = Union[Operator, str]
+
+
+def _resolve_operator(operator: OperatorLike) -> Operator:
+    if isinstance(operator, str):
+        return parse_operator(operator)
+    return operator
+
+
+def _execute_point(task: Tuple[Workload, OperatorMap, Dict[str, object], int]
+                   ) -> WorkloadResult:
+    """Run one sweep point's functional simulation (process-pool safe)."""
+    workload, operators, config, seed = task
+    rng = np.random.default_rng(seed)
+    return workload.run(operators, config, rng)
+
+
+class Study:
+    """Chainable builder for one workload-versus-operator-sweep experiment.
+
+    The builder methods each return ``self``; :meth:`run` executes the sweep
+    and returns an :class:`ExperimentResult` (:meth:`run_bundle` wraps it in
+    a :class:`ResultBundle`).  See the module docstring for the canonical
+    usage, and :mod:`repro.experiments` for the paper's studies expressed as
+    thin declarative wrappers over this API.
+    """
+
+    def __init__(self) -> None:
+        self._workload: Optional[Workload] = None
+        self._config: Dict[str, object] = {}
+        self._operators: List[OperatorLike] = []
+        self._axis: str = "operator"
+        self._pair: Optional[OperatorLike] = None
+        self._pair_injected = False
+        self._energy_model: Optional[DatapathEnergyModel] = None
+        self._seed: Optional[int] = None
+        self._constant_coefficient = False
+        self._experiment: Optional[str] = None
+        self._description: str = ""
+        self._columns: Optional[List[str]] = None
+        self._metadata: Optional[Dict[str, object]] = None
+        self._row_builder: Optional[RowBuilder] = None
+
+    # ------------------------------------------------------------------ #
+    # Builder surface
+    # ------------------------------------------------------------------ #
+    def workload(self, workload: Union[Workload, str],
+                 **config: object) -> "Study":
+        """Select the workload — an instance or a spec like ``"fft(1024)"``.
+
+        Selecting a workload replaces any configuration overrides queued for
+        a previously selected one.
+        """
+        self._workload = parse_workload(workload) \
+            if isinstance(workload, str) else workload
+        self._config = dict(config)
+        return self
+
+    def config(self, **overrides: object) -> "Study":
+        """Override workload configuration keys (validated at run time)."""
+        self._config.update(overrides)
+        return self
+
+    def adders(self, operators: Iterable[OperatorLike]) -> "Study":
+        """Sweep the adder slot; multiplications are charged to the pair."""
+        self._operators = list(operators)
+        self._axis = "adder"
+        return self
+
+    def multipliers(self, operators: Iterable[OperatorLike]) -> "Study":
+        """Sweep the multiplier slot; additions are charged to the pair."""
+        self._operators = list(operators)
+        self._axis = "multiplier"
+        return self
+
+    def operators(self, operators: Iterable[OperatorLike]) -> "Study":
+        """Sweep bare operators (operator-level characterisation studies)."""
+        self._operators = list(operators)
+        self._axis = "operator"
+        return self
+
+    def pair_with(self, operator: OperatorLike,
+                  inject: bool = False) -> "Study":
+        """Fix the energy-pairing partner of every sweep point.
+
+        By default the partner only enters the energy accounting (the paper's
+        convention: an adder sweep still simulates with the exact multiplier
+        but is charged for the data-sized one).  ``inject=True`` also feeds
+        the partner into the functional simulation.
+        """
+        self._pair = operator
+        self._pair_injected = inject
+        return self
+
+    def energy(self, model: Optional[DatapathEnergyModel] = None) -> "Study":
+        """Charge sweep points with Equation 1 through one shared cache."""
+        self._energy_model = model if model is not None else DatapathEnergyModel()
+        return self
+
+    def seed(self, seed: int) -> "Study":
+        """Stimulus seed: same seed in, identical results out."""
+        self._seed = int(seed)
+        return self
+
+    def constant_coefficient(self, enabled: bool = True) -> "Study":
+        """Charge multiplications at the constant-coefficient rate."""
+        self._constant_coefficient = bool(enabled)
+        return self
+
+    def experiment(self, name: str, description: str = "",
+                   columns: Optional[Sequence[str]] = None,
+                   metadata: Optional[Dict[str, object]] = None) -> "Study":
+        """Name the emitted result and optionally pin its columns/metadata."""
+        self._experiment = name
+        self._description = description
+        self._columns = list(columns) if columns is not None else None
+        self._metadata = dict(metadata) if metadata is not None else None
+        return self
+
+    def rows(self, builder: RowBuilder) -> "Study":
+        """Custom row shape: a callable mapping a SweepOutcome to a dict."""
+        self._row_builder = builder
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, workers: int = 1) -> ExperimentResult:
+        """Execute the sweep and emit the experiment result.
+
+        ``workers > 1`` fans the functional simulations out over a process
+        pool; energy charging and row emission stay in the parent so every
+        sweep point shares one hardware-characterisation cache and the
+        result is bit-identical to a serial run.
+        """
+        if self._workload is None:
+            raise ValueError("no workload selected; call .workload(...) first")
+        workload = self._workload
+        config = workload.merged_config(self._config)
+        if self._seed is not None:
+            config["seed"] = self._seed
+        else:
+            config.setdefault("seed", 0)
+        seed = int(config["seed"])
+
+        points = [self._resolve_point(op) for op in self._operators]
+        tasks = [(workload, operator_map, config, seed)
+                 for operator_map, _, _ in points]
+        results = self._execute(tasks, workers)
+
+        experiment = ExperimentResult(
+            experiment=self._experiment or f"{workload.name}_{self._axis}_sweep",
+            description=self._description or (
+                f"Study sweep of {len(points)} {self._axis} configurations "
+                f"over the {workload.name!r} workload"),
+            columns=list(self._columns) if self._columns is not None else [],
+            metadata=self._metadata if self._metadata is not None
+            else {"workload": workload.name, "seed": seed,
+                  "sweep_points": len(points)},
+        )
+        build_row = self._row_builder or _default_row
+        for index, ((operator_map, adder, multiplier), outcome) \
+                in enumerate(zip(points, results)):
+            energy = None
+            if self._energy_model is not None and adder is not None:
+                energy = self._energy_model.application_energy_pj(
+                    outcome.counts, adder, multiplier,
+                    constant_coefficient_multiplications=self._constant_coefficient)
+            sweep_outcome = SweepOutcome(
+                index=index,
+                workload=workload.name,
+                swept=operator_map.swept,
+                adder=adder,
+                multiplier=multiplier,
+                metrics=dict(outcome.metrics),
+                counts=outcome.counts,
+                details=dict(outcome.details),
+                energy=energy,
+                energy_model=self._energy_model,
+            )
+            row = build_row(sweep_outcome)
+            if not experiment.columns:
+                experiment.columns = list(row)
+            experiment.add_row(**row)
+        return experiment
+
+    def run_bundle(self, workers: int = 1) -> ResultBundle:
+        """Run and wrap the result in a :class:`ResultBundle`."""
+        bundle = ResultBundle()
+        bundle.add(self.run(workers=workers))
+        return bundle
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _resolve_point(self, operator: OperatorLike
+                       ) -> Tuple[OperatorMap, Optional[AdderOperator],
+                                  Optional[MultiplierOperator]]:
+        """Swept operator -> (functional map, energy adder, energy multiplier)."""
+        swept = _resolve_operator(operator)
+        pair = _resolve_operator(self._pair) if self._pair is not None else None
+        axis = self._axis
+        if axis == "operator" and isinstance(swept, AdderOperator):
+            axis = "adder"
+        elif axis == "operator" and isinstance(swept, MultiplierOperator):
+            axis = "multiplier"
+
+        if axis == "adder":
+            if not isinstance(swept, AdderOperator):
+                raise TypeError(f"{swept.name} is not an adder; it cannot be "
+                                f"swept on the adder axis")
+            multiplier = pair if pair is not None else minimal_multiplier_for(swept)
+            functional = OperatorMap(
+                swept=swept, adder=swept,
+                multiplier=multiplier if self._pair_injected else None)
+            return functional, swept, multiplier
+        if axis == "multiplier":
+            if not isinstance(swept, MultiplierOperator):
+                raise TypeError(f"{swept.name} is not a multiplier; it cannot "
+                                f"be swept on the multiplier axis")
+            adder = pair if pair is not None else ExactAdder(swept.input_width)
+            functional = OperatorMap(
+                swept=swept, multiplier=swept,
+                adder=adder if self._pair_injected else None)
+            return functional, adder, swept
+        return OperatorMap(swept=swept), None, None
+
+    @staticmethod
+    def _execute(tasks: List[Tuple[Workload, OperatorMap, Dict[str, object], int]],
+                 workers: int) -> List[WorkloadResult]:
+        if workers <= 1 or len(tasks) <= 1:
+            return [_execute_point(task) for task in tasks]
+        try:
+            from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+                return list(pool.map(_execute_point, tasks))
+        except (OSError, PermissionError, ImportError, BrokenExecutor):
+            # Restricted environments (no process spawning / semaphores):
+            # fall back to the serial path, which is result-identical.
+            return [_execute_point(task) for task in tasks]
+
+
+def _default_row(outcome: SweepOutcome) -> Dict[str, object]:
+    """Tidy default row: identities, metrics, counts and energy split."""
+    row: Dict[str, object] = {"workload": outcome.workload,
+                              "operator": outcome.swept.name}
+    if outcome.adder is not None:
+        row["adder"] = outcome.adder.name
+    if outcome.multiplier is not None:
+        row["multiplier"] = outcome.multiplier.name
+    row.update(outcome.metrics)
+    row["additions"] = outcome.counts.additions
+    row["multiplications"] = outcome.counts.multiplications
+    if outcome.energy is not None:
+        row["adder_energy_pj"] = outcome.energy.adder_energy_pj
+        row["multiplier_energy_pj"] = outcome.energy.multiplier_energy_pj
+        row["total_energy_pj"] = outcome.energy.total_energy_pj
+    return row

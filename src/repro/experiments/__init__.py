@@ -1,4 +1,10 @@
-"""One module per reproduced table / figure of the paper, plus ablations."""
+"""One module per reproduced table / figure of the paper, plus ablations.
+
+Every function here is a thin declarative wrapper over the fluent
+:class:`repro.core.study.Study` pipeline — new scenarios should be written
+as :mod:`repro.workloads` plugins driven by ``Study`` directly rather than
+as new modules in this package.
+"""
 from .ablations import multiplier_compensation_ablation, rounding_mode_ablation
 from .adders_study import adder_error_cost_study, default_figure_sweep
 from .fft_study import (

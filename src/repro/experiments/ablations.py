@@ -6,13 +6,16 @@ These go beyond the paper's own experiments:
   approximate redundant-to-binary conversion) to their error behaviour;
 * the effect of the data-sizing rounding mode (truncation vs round-half-up
   vs round-to-nearest-even) on accuracy at iso bit-width.
+
+Both ablations run through the :class:`~repro.core.study.Study` pipeline
+with the ``"characterization"`` workload plugin.
 """
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..core.characterization import Apxperf
 from ..core.results import ExperimentResult
+from ..core.study import Study, SweepOutcome
 from ..operators.adders import (
     RoundToNearestEvenAdder,
     RoundedAdder,
@@ -23,11 +26,9 @@ from ..operators.multipliers import AAMMultiplier, ABMMultiplier
 
 def multiplier_compensation_ablation(input_width: int = 16,
                                      error_samples: int = 50_000,
-                                     hardware_samples: int = 600
-                                     ) -> ExperimentResult:
+                                     hardware_samples: int = 600,
+                                     workers: int = 1) -> ExperimentResult:
     """AAM / ABM with and without their compensation and exact conversion."""
-    harness = Apxperf(error_samples=error_samples,
-                      hardware_samples=hardware_samples)
     variants = [
         ("AAM compensated", AAMMultiplier(input_width, compensation=True)),
         ("AAM pruned only", AAMMultiplier(input_width, compensation=False)),
@@ -35,52 +36,68 @@ def multiplier_compensation_ablation(input_width: int = 16,
         ("ABM pruned only", ABMMultiplier(input_width, compensation=False)),
         ("ABM exact conversion", ABMMultiplier(input_width, carry_window=None)),
     ]
-    result = ExperimentResult(
-        experiment="ablation_compensation",
-        description=("Contribution of the compensation circuits (and of ABM's "
-                     "approximate final conversion) to the multiplier accuracy"),
-        columns=["variant", "operator", "mse_db", "ber", "bias", "pdp_pj"],
-        metadata={"input_width": input_width},
-    )
-    for label, operator in variants:
-        record = harness.characterize(operator)
-        result.add_row(
-            variant=label,
-            operator=record.operator,
-            mse_db=record.mse_db,
-            ber=record.ber,
-            bias=record.error.bias,
-            pdp_pj=record.pdp_pj,
+    labels = [label for label, _ in variants]
+
+    def row(point: SweepOutcome) -> dict:
+        return dict(
+            variant=labels[point.index],
+            operator=point.swept.name,
+            mse_db=point.metrics["mse_db"],
+            ber=point.metrics["ber"],
+            bias=point.metrics["bias"],
+            pdp_pj=point.metrics["pdp_pj"],
         )
-    return result
+
+    return (Study()
+            .workload("characterization", error_samples=error_samples,
+                      hardware_samples=hardware_samples)
+            .operators([operator for _, operator in variants])
+            .experiment(
+                "ablation_compensation",
+                description=("Contribution of the compensation circuits (and "
+                             "of ABM's approximate final conversion) to the "
+                             "multiplier accuracy"),
+                columns=["variant", "operator", "mse_db", "ber", "bias",
+                         "pdp_pj"],
+                metadata={"input_width": input_width})
+            .rows(row)
+            .run(workers=workers))
 
 
 def rounding_mode_ablation(input_width: int = 16,
                            output_widths: Optional[Sequence[int]] = None,
                            error_samples: int = 50_000,
-                           hardware_samples: int = 600) -> ExperimentResult:
+                           hardware_samples: int = 600,
+                           workers: int = 1) -> ExperimentResult:
     """Truncation vs rounding vs round-to-nearest-even for data sizing."""
     if output_widths is None:
         output_widths = (14, 12, 10, 8, 6)
-    harness = Apxperf(error_samples=error_samples,
+    modes = (("truncate", TruncatedAdder), ("round", RoundedAdder),
+             ("round-to-even", RoundToNearestEvenAdder))
+    points = [(mode, width, cls(input_width, width))
+              for width in output_widths for mode, cls in modes]
+
+    def row(point: SweepOutcome) -> dict:
+        mode, width, _ = points[point.index]
+        return dict(
+            operator=point.swept.name,
+            mode=mode,
+            output_width=width,
+            mse_db=point.metrics["mse_db"],
+            bias=point.metrics["bias"],
+            pdp_pj=point.metrics["pdp_pj"],
+        )
+
+    return (Study()
+            .workload("characterization", error_samples=error_samples,
                       hardware_samples=hardware_samples)
-    result = ExperimentResult(
-        experiment="ablation_rounding_mode",
-        description=("Effect of the LSB-elimination rounding mode on the "
-                     "data-sized adder accuracy at iso bit-width"),
-        columns=["operator", "mode", "output_width", "mse_db", "bias", "pdp_pj"],
-        metadata={"input_width": input_width},
-    )
-    for width in output_widths:
-        for mode, cls in (("truncate", TruncatedAdder), ("round", RoundedAdder),
-                          ("round-to-even", RoundToNearestEvenAdder)):
-            record = harness.characterize(cls(input_width, width))
-            result.add_row(
-                operator=record.operator,
-                mode=mode,
-                output_width=width,
-                mse_db=record.mse_db,
-                bias=record.error.bias,
-                pdp_pj=record.pdp_pj,
-            )
-    return result
+            .operators([operator for _, _, operator in points])
+            .experiment(
+                "ablation_rounding_mode",
+                description=("Effect of the LSB-elimination rounding mode on "
+                             "the data-sized adder accuracy at iso bit-width"),
+                columns=["operator", "mode", "output_width", "mse_db", "bias",
+                         "pdp_pj"],
+                metadata={"input_width": input_width})
+            .rows(row)
+            .run(workers=workers))

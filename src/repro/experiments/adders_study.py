@@ -6,20 +6,24 @@ ETAIV block size, every RCAApx configuration) this experiment reports the
 error metrics (MSE in dB, BER) against the hardware metrics (power, delay,
 PDP, area) — i.e. the data behind the eight scatter plots of Figures 3a-3d
 and 4a-4d.
+
+Implemented as a thin wrapper over the :class:`~repro.core.study.Study`
+pipeline with the ``"characterization"`` workload plugin.
 """
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..core.characterization import Apxperf
 from ..core.exploration import (
     sweep_aca_adders,
     sweep_etaiv_adders,
     sweep_rcaapx_adders,
     sweep_rounded_adders,
     sweep_truncated_adders,
+    unique_by_name,
 )
 from ..core.results import ExperimentResult
+from ..core.study import Study, SweepOutcome
 from ..operators.base import Operator
 
 
@@ -55,44 +59,49 @@ def default_figure_sweep(input_width: int = 16,
         operators.extend(sweep_aca_adders(input_width, [4, 8, 12]))
         operators.extend(sweep_etaiv_adders(input_width, [2, 4, 8]))
         operators.extend(sweep_rcaapx_adders(input_width, [4, 8, 12]))
-        return operators
+        return unique_by_name(operators)
     operators = []
     operators.extend(sweep_truncated_adders(input_width))
     operators.extend(sweep_rounded_adders(input_width))
     operators.extend(sweep_aca_adders(input_width))
     operators.extend(sweep_etaiv_adders(input_width))
     operators.extend(sweep_rcaapx_adders(input_width))
-    return operators
+    return unique_by_name(operators)
 
 
 def adder_error_cost_study(input_width: int = 16,
                            operators: Optional[Sequence[Operator]] = None,
                            error_samples: int = 50_000,
                            hardware_samples: int = 800,
-                           reduced: bool = False) -> ExperimentResult:
+                           reduced: bool = False,
+                           workers: int = 1) -> ExperimentResult:
     """Regenerate the data of Figures 3 (MSE) and 4 (BER) in one table."""
     if operators is None:
         operators = default_figure_sweep(input_width, reduced=reduced)
-    harness = Apxperf(error_samples=error_samples,
-                      hardware_samples=hardware_samples)
-    result = ExperimentResult(
-        experiment="fig3_fig4_adders",
-        description=("16-bit adders: MSE/BER versus power, delay, PDP and area "
-                     "(Figures 3 and 4 of the paper)"),
-        columns=["operator", "group", "mse_db", "ber", "power_mw", "delay_ns",
-                 "pdp_pj", "area_um2"],
-        metadata={"input_width": input_width, "error_samples": error_samples},
-    )
-    for operator in operators:
-        record = harness.characterize(operator)
-        result.add_row(
-            operator=record.operator,
-            group=_group_name(operator),
-            mse_db=record.mse_db,
-            ber=record.ber,
-            power_mw=record.power_mw,
-            delay_ns=record.delay_ns,
-            pdp_pj=record.pdp_pj,
-            area_um2=record.area_um2,
+
+    def row(point: SweepOutcome) -> dict:
+        return dict(
+            operator=point.swept.name,
+            group=_group_name(point.swept),
+            mse_db=point.metrics["mse_db"],
+            ber=point.metrics["ber"],
+            power_mw=point.metrics["power_mw"],
+            delay_ns=point.metrics["delay_ns"],
+            pdp_pj=point.metrics["pdp_pj"],
+            area_um2=point.metrics["area_um2"],
         )
-    return result
+
+    return (Study()
+            .workload("characterization", error_samples=error_samples,
+                      hardware_samples=hardware_samples)
+            .operators(operators)
+            .experiment(
+                "fig3_fig4_adders",
+                description=("16-bit adders: MSE/BER versus power, delay, PDP "
+                             "and area (Figures 3 and 4 of the paper)"),
+                columns=["operator", "group", "mse_db", "ber", "power_mw",
+                         "delay_ns", "pdp_pj", "area_um2"],
+                metadata={"input_width": input_width,
+                          "error_samples": error_samples})
+            .rows(row)
+            .run(workers=workers))

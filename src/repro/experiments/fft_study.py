@@ -5,24 +5,26 @@ and data-sized configuration, pairs each adder with the smallest exact
 multiplier its emitted data width allows (the coupling the paper emphasises),
 and reports the output PSNR against the total datapath energy of Equation 1.
 Table II keeps exact 16-bit adders and swaps the fixed-width multipliers.
+
+Both experiments are thin declarative wrappers over the fluent
+:class:`~repro.core.study.Study` pipeline — see that module for the general
+API (custom workloads, parallel sweeps, shared energy cache).
 """
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..apps.fft import FixedPointFFT, random_q15_signal
-from ..core.datapath import DatapathEnergyModel, minimal_multiplier_for
+from ..core.datapath import DatapathEnergyModel
 from ..core.exploration import (
     sweep_aca_adders,
     sweep_etaiv_adders,
     sweep_rcaapx_adders,
     sweep_rounded_adders,
     sweep_truncated_adders,
+    unique_by_name,
 )
 from ..core.results import ExperimentResult
-from ..metrics.signal import psnr_db
+from ..core.study import Study, SweepOutcome
 from ..operators.adders import ExactAdder
 from ..operators.base import AdderOperator, MultiplierOperator
 from ..operators.multipliers import AAMMultiplier, ABMMultiplier, TruncatedMultiplier
@@ -38,96 +40,82 @@ def default_fft_adder_sweep(input_width: int = 16,
         adders.extend(sweep_aca_adders(input_width, [6, 10, 14]))
         adders.extend(sweep_etaiv_adders(input_width, [2, 4, 8]))
         adders.extend(sweep_rcaapx_adders(input_width, [4, 8], fa_types=(1, 2, 3)))
-        return adders
+        return unique_by_name(adders)
     adders = []
     adders.extend(sweep_truncated_adders(input_width))
     adders.extend(sweep_rounded_adders(input_width))
     adders.extend(sweep_aca_adders(input_width))
     adders.extend(sweep_etaiv_adders(input_width))
     adders.extend(sweep_rcaapx_adders(input_width, range(2, input_width, 2)))
-    return adders
-
-
-def _fft_psnr(fft: FixedPointFFT, signals: Sequence[np.ndarray]) -> float:
-    """Average output PSNR over several random input frames."""
-    references = []
-    outputs = []
-    for signal in signals:
-        result = fft.forward(signal)
-        spectrum = result.as_complex(frac_bits=fft.frac_bits)
-        reference = fft.reference_spectrum(signal)
-        references.append(np.concatenate([reference.real, reference.imag]))
-        outputs.append(np.concatenate([spectrum.real, spectrum.imag]))
-    return psnr_db(np.concatenate(references), np.concatenate(outputs))
+    return unique_by_name(adders)
 
 
 def fft_adder_sweep(size: int = 32, input_width: int = 16,
                     adders: Optional[Sequence[AdderOperator]] = None,
                     frames: int = 8, reduced: bool = False,
-                    energy_model: Optional[DatapathEnergyModel] = None
-                    ) -> ExperimentResult:
+                    energy_model: Optional[DatapathEnergyModel] = None,
+                    workers: int = 1) -> ExperimentResult:
     """Regenerate Figure 5 (PDP of FFT-32 versus output PSNR, adders swept)."""
     if adders is None:
         adders = default_fft_adder_sweep(input_width, reduced=reduced)
-    if energy_model is None:
-        energy_model = DatapathEnergyModel()
-    signals = [random_q15_signal(size, seed=seed) for seed in range(frames)]
 
-    result = ExperimentResult(
-        experiment="fig5_fft_adders",
-        description=("FFT-32 on 16-bit data: total datapath energy versus output "
-                     "PSNR with the adders swapped (Figure 5 of the paper)"),
-        columns=["adder", "multiplier", "psnr_db", "adder_energy_pj",
-                 "multiplier_energy_pj", "total_energy_pj"],
-        metadata={"fft_size": size, "frames": frames},
-    )
-    for adder in adders:
-        multiplier = minimal_multiplier_for(adder)
-        fft = FixedPointFFT(size, input_width, adder=adder)
-        psnr = _fft_psnr(fft, signals)
-        counts = fft.operation_counts()
-        energy = energy_model.application_energy_pj(counts, adder, multiplier)
-        result.add_row(
-            adder=adder.name,
-            multiplier=multiplier.name,
-            psnr_db=psnr,
-            adder_energy_pj=energy.adder_energy_pj,
-            multiplier_energy_pj=energy.multiplier_energy_pj,
-            total_energy_pj=energy.total_energy_pj,
+    def row(point: SweepOutcome) -> dict:
+        return dict(
+            adder=point.adder.name,
+            multiplier=point.multiplier.name,
+            psnr_db=point.metrics["psnr_db"],
+            adder_energy_pj=point.energy.adder_energy_pj,
+            multiplier_energy_pj=point.energy.multiplier_energy_pj,
+            total_energy_pj=point.energy.total_energy_pj,
         )
-    return result
+
+    return (Study()
+            .workload("fft", size=size, data_width=input_width, frames=frames)
+            .adders(adders)
+            .energy(energy_model)
+            .experiment(
+                "fig5_fft_adders",
+                description=("FFT-32 on 16-bit data: total datapath energy "
+                             "versus output PSNR with the adders swapped "
+                             "(Figure 5 of the paper)"),
+                columns=["adder", "multiplier", "psnr_db", "adder_energy_pj",
+                         "multiplier_energy_pj", "total_energy_pj"],
+                metadata={"fft_size": size, "frames": frames})
+            .rows(row)
+            .run(workers=workers))
 
 
 def fft_multiplier_comparison(size: int = 32, input_width: int = 16,
                               multipliers: Optional[Sequence[MultiplierOperator]] = None,
                               frames: int = 8,
-                              energy_model: Optional[DatapathEnergyModel] = None
-                              ) -> ExperimentResult:
+                              energy_model: Optional[DatapathEnergyModel] = None,
+                              workers: int = 1) -> ExperimentResult:
     """Regenerate Table II (FFT-32 accuracy/energy with fixed-width multipliers)."""
     if multipliers is None:
         multipliers = [TruncatedMultiplier(input_width, input_width),
                        AAMMultiplier(input_width), ABMMultiplier(input_width)]
-    if energy_model is None:
-        energy_model = DatapathEnergyModel()
-    signals = [random_q15_signal(size, seed=seed) for seed in range(frames)]
-    adder = ExactAdder(input_width)
 
-    result = ExperimentResult(
-        experiment="table2_fft_multipliers",
-        description=("FFT-32 with 16-bit fixed-width multipliers and exact adders: "
-                     "PSNR and per-multiplication energy (Table II of the paper)"),
-        columns=["multiplier", "psnr_db", "multiplier_pdp_pj", "total_energy_pj"],
-        metadata={"fft_size": size, "frames": frames},
-    )
-    for multiplier in multipliers:
-        fft = FixedPointFFT(size, input_width, multiplier=multiplier)
-        psnr = _fft_psnr(fft, signals)
-        counts = fft.operation_counts()
-        energy = energy_model.application_energy_pj(counts, adder, multiplier)
-        result.add_row(
-            multiplier=multiplier.name,
-            psnr_db=psnr,
-            multiplier_pdp_pj=energy_model.energy_per_multiplication_pj(multiplier),
-            total_energy_pj=energy.total_energy_pj,
+    def row(point: SweepOutcome) -> dict:
+        return dict(
+            multiplier=point.multiplier.name,
+            psnr_db=point.metrics["psnr_db"],
+            multiplier_pdp_pj=point.energy_model.energy_per_multiplication_pj(
+                point.multiplier),
+            total_energy_pj=point.energy.total_energy_pj,
         )
-    return result
+
+    return (Study()
+            .workload("fft", size=size, data_width=input_width, frames=frames)
+            .multipliers(multipliers)
+            .pair_with(ExactAdder(input_width))
+            .energy(energy_model)
+            .experiment(
+                "table2_fft_multipliers",
+                description=("FFT-32 with 16-bit fixed-width multipliers and "
+                             "exact adders: PSNR and per-multiplication energy "
+                             "(Table II of the paper)"),
+                columns=["multiplier", "psnr_db", "multiplier_pdp_pj",
+                         "total_energy_pj"],
+                metadata={"fft_size": size, "frames": frames})
+            .rows(row)
+            .run(workers=workers))

@@ -6,6 +6,11 @@ the fixed-width *multipliers* with exact 16-bit adders.  The quality metric
 is the MSSIM against the exact filter output; the energy columns report the
 per-operation adder energy, the per-operation multiplier energy and the total
 datapath energy of the run.
+
+Implemented as thin wrappers over the :class:`~repro.core.study.Study`
+pipeline with the ``"hevc"`` workload plugin; Table III charges
+multiplications at the constant-coefficient rate because the filter taps are
+small constants.
 """
 from __future__ import annotations
 
@@ -13,14 +18,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..apps.hevc_mc import MotionCompensationFilter, mc_quality_score
 from ..apps.images import synthetic_image
-from ..core.datapath import DatapathEnergyModel, minimal_multiplier_for
+from ..core.datapath import DatapathEnergyModel
 from ..core.results import ExperimentResult
+from ..core.study import Study, SweepOutcome
 from ..operators.adders import (
     ACAAdder,
     ETAIVAdder,
-    ExactAdder,
     RCAApxAdder,
     TruncatedAdder,
 )
@@ -45,65 +49,68 @@ TABLE4_MULTIPLIERS = (
 
 def hevc_adder_table(image: Optional[np.ndarray] = None, image_size: int = 128,
                      adders: Sequence[AdderOperator] = TABLE3_ADDERS,
-                     energy_model: Optional[DatapathEnergyModel] = None
-                     ) -> ExperimentResult:
+                     energy_model: Optional[DatapathEnergyModel] = None,
+                     workers: int = 1) -> ExperimentResult:
     """Regenerate Table III (MC filter with approximate / data-sized adders)."""
     if image is None:
         image = synthetic_image(image_size)
-    if energy_model is None:
-        energy_model = DatapathEnergyModel()
 
-    result = ExperimentResult(
-        experiment="table3_hevc_adders",
-        description=("HEVC motion-compensation filter with 16-bit adders swapped: "
-                     "MSSIM and energy (Table III of the paper)"),
-        columns=["adder", "mssim_percent", "adder_energy_pj", "mult_energy_pj",
-                 "total_energy_pj"],
-        metadata={"image_pixels": int(image.size)},
-    )
-    for adder in adders:
-        score, counts = mc_quality_score(image, adder=adder)
-        multiplier = minimal_multiplier_for(adder)
-        energy = energy_model.application_energy_pj(
-            counts, adder, multiplier, constant_coefficient_multiplications=True)
-        result.add_row(
-            adder=adder.name,
-            mssim_percent=score * 100.0,
-            adder_energy_pj=energy_model.energy_per_addition_pj(adder),
-            mult_energy_pj=energy_model.energy_per_multiplication_pj(
-                multiplier, constant_coefficient=True),
-            total_energy_pj=energy.total_energy_pj,
+    def row(point: SweepOutcome) -> dict:
+        return dict(
+            adder=point.adder.name,
+            mssim_percent=point.metrics["mssim"] * 100.0,
+            adder_energy_pj=point.energy_model.energy_per_addition_pj(point.adder),
+            mult_energy_pj=point.energy_model.energy_per_multiplication_pj(
+                point.multiplier, constant_coefficient=True),
+            total_energy_pj=point.energy.total_energy_pj,
         )
-    return result
+
+    return (Study()
+            .workload("hevc", image=image)
+            .adders(adders)
+            .energy(energy_model)
+            .constant_coefficient()
+            .experiment(
+                "table3_hevc_adders",
+                description=("HEVC motion-compensation filter with 16-bit "
+                             "adders swapped: MSSIM and energy (Table III of "
+                             "the paper)"),
+                columns=["adder", "mssim_percent", "adder_energy_pj",
+                         "mult_energy_pj", "total_energy_pj"],
+                metadata={"image_pixels": int(image.size)})
+            .rows(row)
+            .run(workers=workers))
 
 
 def hevc_multiplier_table(image: Optional[np.ndarray] = None, image_size: int = 128,
                           multipliers: Sequence[MultiplierOperator] = TABLE4_MULTIPLIERS,
-                          energy_model: Optional[DatapathEnergyModel] = None
-                          ) -> ExperimentResult:
+                          energy_model: Optional[DatapathEnergyModel] = None,
+                          workers: int = 1) -> ExperimentResult:
     """Regenerate Table IV (MC filter with fixed-width multipliers swapped)."""
     if image is None:
         image = synthetic_image(image_size)
-    if energy_model is None:
-        energy_model = DatapathEnergyModel()
-    adder = ExactAdder(16)
 
-    result = ExperimentResult(
-        experiment="table4_hevc_multipliers",
-        description=("HEVC motion-compensation filter with 16-bit multipliers "
-                     "swapped: MSSIM and energy (Table IV of the paper)"),
-        columns=["multiplier", "mssim_percent", "mult_energy_pj", "adder_energy_pj",
-                 "total_energy_pj"],
-        metadata={"image_pixels": int(image.size)},
-    )
-    for multiplier in multipliers:
-        score, counts = mc_quality_score(image, multiplier=multiplier)
-        energy = energy_model.application_energy_pj(counts, adder, multiplier)
-        result.add_row(
-            multiplier=multiplier.name,
-            mssim_percent=score * 100.0,
-            mult_energy_pj=energy_model.energy_per_multiplication_pj(multiplier),
-            adder_energy_pj=energy_model.energy_per_addition_pj(adder),
-            total_energy_pj=energy.total_energy_pj,
+    def row(point: SweepOutcome) -> dict:
+        return dict(
+            multiplier=point.multiplier.name,
+            mssim_percent=point.metrics["mssim"] * 100.0,
+            mult_energy_pj=point.energy_model.energy_per_multiplication_pj(
+                point.multiplier),
+            adder_energy_pj=point.energy_model.energy_per_addition_pj(point.adder),
+            total_energy_pj=point.energy.total_energy_pj,
         )
-    return result
+
+    return (Study()
+            .workload("hevc", image=image)
+            .multipliers(multipliers)
+            .energy(energy_model)
+            .experiment(
+                "table4_hevc_multipliers",
+                description=("HEVC motion-compensation filter with 16-bit "
+                             "multipliers swapped: MSSIM and energy (Table IV "
+                             "of the paper)"),
+                columns=["multiplier", "mssim_percent", "mult_energy_pj",
+                         "adder_energy_pj", "total_energy_pj"],
+                metadata={"image_pixels": int(image.size)})
+            .rows(row)
+            .run(workers=workers))

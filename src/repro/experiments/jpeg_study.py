@@ -5,6 +5,9 @@ quality axis is the MSSIM between the image encoded with the exact
 fixed-point DCT and the one encoded with the operator under test, the energy
 axis is the per-operation energy of the DCT datapath (Equation 1 applied to
 the DCT's additions and multiplications).
+
+Implemented as a thin wrapper over the :class:`~repro.core.study.Study`
+pipeline with the ``"jpeg"`` workload plugin.
 """
 from __future__ import annotations
 
@@ -13,17 +16,17 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..apps.images import synthetic_image
-from ..apps.jpeg import JpegEncoder
-from ..core.datapath import DatapathEnergyModel, minimal_multiplier_for
+from ..core.datapath import DatapathEnergyModel
 from ..core.exploration import (
     sweep_aca_adders,
     sweep_etaiv_adders,
     sweep_rcaapx_adders,
     sweep_rounded_adders,
     sweep_truncated_adders,
+    unique_by_name,
 )
 from ..core.results import ExperimentResult
-from ..metrics.image import mssim
+from ..core.study import Study, SweepOutcome
 from ..operators.base import AdderOperator
 
 
@@ -37,52 +40,49 @@ def default_jpeg_adder_sweep(input_width: int = 16,
         adders.extend(sweep_aca_adders(input_width, [8, 14]))
         adders.extend(sweep_etaiv_adders(input_width, [4, 8]))
         adders.extend(sweep_rcaapx_adders(input_width, [4, 8], fa_types=(1, 3)))
-        return adders
+        return unique_by_name(adders)
     adders = []
     adders.extend(sweep_truncated_adders(input_width))
     adders.extend(sweep_rounded_adders(input_width))
     adders.extend(sweep_aca_adders(input_width))
     adders.extend(sweep_etaiv_adders(input_width))
     adders.extend(sweep_rcaapx_adders(input_width, range(2, input_width, 2)))
-    return adders
+    return unique_by_name(adders)
 
 
 def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
                      input_width: int = 16,
                      adders: Optional[Sequence[AdderOperator]] = None,
                      image_size: int = 128, reduced: bool = False,
-                     energy_model: Optional[DatapathEnergyModel] = None
-                     ) -> ExperimentResult:
+                     energy_model: Optional[DatapathEnergyModel] = None,
+                     workers: int = 1) -> ExperimentResult:
     """Regenerate Figure 6 (DCT energy versus JPEG MSSIM, adders swept)."""
     if image is None:
         image = synthetic_image(image_size)
     if adders is None:
         adders = default_jpeg_adder_sweep(input_width, reduced=reduced)
-    if energy_model is None:
-        energy_model = DatapathEnergyModel()
 
-    reference = JpegEncoder(quality=quality).encode_decode(image)
-
-    result = ExperimentResult(
-        experiment="fig6_jpeg",
-        description=("JPEG encoding (quality 90): DCT datapath energy versus "
-                     "MSSIM with the adders swapped (Figure 6 of the paper)"),
-        columns=["adder", "multiplier", "mssim", "dct_energy_pj",
-                 "energy_per_mac_pj"],
-        metadata={"quality": quality, "image_pixels": int(image.size)},
-    )
-    for adder in adders:
-        multiplier = minimal_multiplier_for(adder)
-        encoder = JpegEncoder(quality=quality, adder=adder)
-        outcome = encoder.encode_decode(image)
-        score = mssim(reference.reconstructed, outcome.reconstructed)
-        energy = energy_model.application_energy_pj(outcome.counts, adder, multiplier)
-        macs = max(outcome.counts.additions, 1)
-        result.add_row(
-            adder=adder.name,
-            multiplier=multiplier.name,
-            mssim=score,
-            dct_energy_pj=energy.total_energy_pj,
-            energy_per_mac_pj=energy.total_energy_pj / macs,
+    def row(point: SweepOutcome) -> dict:
+        macs = max(point.counts.additions, 1)
+        return dict(
+            adder=point.adder.name,
+            multiplier=point.multiplier.name,
+            mssim=point.metrics["mssim"],
+            dct_energy_pj=point.energy.total_energy_pj,
+            energy_per_mac_pj=point.energy.total_energy_pj / macs,
         )
-    return result
+
+    return (Study()
+            .workload("jpeg", quality=quality, image=image)
+            .adders(adders)
+            .energy(energy_model)
+            .experiment(
+                "fig6_jpeg",
+                description=("JPEG encoding (quality 90): DCT datapath energy "
+                             "versus MSSIM with the adders swapped (Figure 6 "
+                             "of the paper)"),
+                columns=["adder", "multiplier", "mssim", "dct_energy_pj",
+                         "energy_per_mac_pj"],
+                metadata={"quality": quality, "image_pixels": int(image.size)})
+            .rows(row)
+            .run(workers=workers))

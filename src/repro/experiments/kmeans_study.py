@@ -6,20 +6,21 @@ fixed-width *multipliers*.  The success rate is measured against the exact
 fixed-point run started from the same initial centroids, averaged over
 several generated point clouds (the paper uses 5 sets of 5000 points around
 10 random centres).
+
+Implemented as thin wrappers over the :class:`~repro.core.study.Study`
+pipeline with the ``"kmeans"`` workload plugin.
 """
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..apps.kmeans import PointCloud, generate_point_cloud, kmeans_success_rate
-from ..core.datapath import DatapathEnergyModel, minimal_multiplier_for
+from ..apps.kmeans import PointCloud, generate_point_cloud
+from ..core.datapath import DatapathEnergyModel
 from ..core.results import ExperimentResult
+from ..core.study import Study, SweepOutcome
 from ..operators.adders import (
     ACAAdder,
     ETAIVAdder,
-    ExactAdder,
     RCAApxAdder,
     TruncatedAdder,
 )
@@ -54,85 +55,75 @@ def default_point_clouds(runs: int = 5, points_per_run: int = 5000,
             for seed in range(runs)]
 
 
-def _average_success(clouds: Sequence[PointCloud],
-                     adder: Optional[AdderOperator] = None,
-                     multiplier: Optional[MultiplierOperator] = None,
-                     iterations: int = 8) -> Tuple[float, "np.ndarray"]:
-    rates = []
-    counts = None
-    for cloud in clouds:
-        rate, run_counts = kmeans_success_rate(cloud, adder=adder,
-                                               multiplier=multiplier,
-                                               iterations=iterations)
-        rates.append(rate)
-        counts = run_counts
-    return float(np.mean(rates)), counts
-
-
 def kmeans_adder_table(clouds: Optional[Sequence[PointCloud]] = None,
                        adders: Sequence[AdderOperator] = TABLE5_ADDERS,
                        runs: int = 3, points_per_run: int = 2000,
                        iterations: int = 8,
-                       energy_model: Optional[DatapathEnergyModel] = None
-                       ) -> ExperimentResult:
+                       energy_model: Optional[DatapathEnergyModel] = None,
+                       workers: int = 1) -> ExperimentResult:
     """Regenerate Table V (distance computation with the adders swapped)."""
     if clouds is None:
         clouds = default_point_clouds(runs, points_per_run)
-    if energy_model is None:
-        energy_model = DatapathEnergyModel()
 
-    result = ExperimentResult(
-        experiment="table5_kmeans_adders",
-        description=("K-means distance computation with 16-bit adders swapped: "
-                     "success rate and energy (Table V of the paper)"),
-        columns=["adder", "success_rate_percent", "adder_energy_pj",
-                 "mult_energy_pj", "total_energy_pj"],
-        metadata={"runs": len(clouds), "points_per_run": int(clouds[0].points.shape[0])},
-    )
-    for adder in adders:
-        rate, counts = _average_success(clouds, adder=adder, iterations=iterations)
-        multiplier = minimal_multiplier_for(adder)
-        energy = energy_model.application_energy_pj(counts, adder, multiplier)
-        result.add_row(
-            adder=adder.name,
-            success_rate_percent=rate * 100.0,
-            adder_energy_pj=energy_model.energy_per_addition_pj(adder),
-            mult_energy_pj=energy_model.energy_per_multiplication_pj(multiplier),
-            total_energy_pj=energy.total_energy_pj,
+    def row(point: SweepOutcome) -> dict:
+        return dict(
+            adder=point.adder.name,
+            success_rate_percent=point.metrics["success_rate"] * 100.0,
+            adder_energy_pj=point.energy_model.energy_per_addition_pj(point.adder),
+            mult_energy_pj=point.energy_model.energy_per_multiplication_pj(
+                point.multiplier),
+            total_energy_pj=point.energy.total_energy_pj,
         )
-    return result
+
+    return (Study()
+            .workload("kmeans", clouds=tuple(clouds), iterations=iterations)
+            .adders(adders)
+            .energy(energy_model)
+            .experiment(
+                "table5_kmeans_adders",
+                description=("K-means distance computation with 16-bit adders "
+                             "swapped: success rate and energy (Table V of "
+                             "the paper)"),
+                columns=["adder", "success_rate_percent", "adder_energy_pj",
+                         "mult_energy_pj", "total_energy_pj"],
+                metadata={"runs": len(clouds),
+                          "points_per_run": int(clouds[0].points.shape[0])})
+            .rows(row)
+            .run(workers=workers))
 
 
 def kmeans_multiplier_table(clouds: Optional[Sequence[PointCloud]] = None,
                             multipliers: Sequence[MultiplierOperator] = TABLE6_MULTIPLIERS,
                             runs: int = 3, points_per_run: int = 2000,
                             iterations: int = 8,
-                            energy_model: Optional[DatapathEnergyModel] = None
-                            ) -> ExperimentResult:
+                            energy_model: Optional[DatapathEnergyModel] = None,
+                            workers: int = 1) -> ExperimentResult:
     """Regenerate Table VI (distance computation with the multipliers swapped)."""
     if clouds is None:
         clouds = default_point_clouds(runs, points_per_run)
-    if energy_model is None:
-        energy_model = DatapathEnergyModel()
-    adder = ExactAdder(16)
 
-    result = ExperimentResult(
-        experiment="table6_kmeans_multipliers",
-        description=("K-means distance computation with 16-bit multipliers swapped: "
-                     "success rate and energy (Table VI of the paper)"),
-        columns=["multiplier", "success_rate_percent", "mult_energy_pj",
-                 "adder_energy_pj", "total_energy_pj"],
-        metadata={"runs": len(clouds), "points_per_run": int(clouds[0].points.shape[0])},
-    )
-    for multiplier in multipliers:
-        rate, counts = _average_success(clouds, multiplier=multiplier,
-                                        iterations=iterations)
-        energy = energy_model.application_energy_pj(counts, adder, multiplier)
-        result.add_row(
-            multiplier=multiplier.name,
-            success_rate_percent=rate * 100.0,
-            mult_energy_pj=energy_model.energy_per_multiplication_pj(multiplier),
-            adder_energy_pj=energy_model.energy_per_addition_pj(adder),
-            total_energy_pj=energy.total_energy_pj,
+    def row(point: SweepOutcome) -> dict:
+        return dict(
+            multiplier=point.multiplier.name,
+            success_rate_percent=point.metrics["success_rate"] * 100.0,
+            mult_energy_pj=point.energy_model.energy_per_multiplication_pj(
+                point.multiplier),
+            adder_energy_pj=point.energy_model.energy_per_addition_pj(point.adder),
+            total_energy_pj=point.energy.total_energy_pj,
         )
-    return result
+
+    return (Study()
+            .workload("kmeans", clouds=tuple(clouds), iterations=iterations)
+            .multipliers(multipliers)
+            .energy(energy_model)
+            .experiment(
+                "table6_kmeans_multipliers",
+                description=("K-means distance computation with 16-bit "
+                             "multipliers swapped: success rate and energy "
+                             "(Table VI of the paper)"),
+                columns=["multiplier", "success_rate_percent", "mult_energy_pj",
+                         "adder_energy_pj", "total_energy_pj"],
+                metadata={"runs": len(clouds),
+                          "points_per_run": int(clouds[0].points.shape[0])})
+            .rows(row)
+            .run(workers=workers))

@@ -6,6 +6,11 @@ section (plus the extension ablations) and returns a
 writes one JSON file per experiment.  The ``reduced`` flag trades sweep
 density and workload size for runtime and is what the benchmark harness and
 the continuous tests use.
+
+Every experiment is a thin wrapper over the :class:`~repro.core.study.Study`
+pipeline, so ``workers > 1`` parallelises each sweep over a process pool
+while the single shared :class:`~repro.core.datapath.DatapathEnergyModel`
+keeps hardware characterisation cached across all of them.
 """
 from __future__ import annotations
 
@@ -24,13 +29,15 @@ from .multipliers_study import multiplier_comparison
 
 
 def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
-            include_ablations: bool = True) -> ResultBundle:
+            include_ablations: bool = True, workers: int = 1) -> ResultBundle:
     """Regenerate every table and figure of the paper.
 
     ``reduced=True`` (default) runs the laptop-scale configuration: thinner
     operator sweeps, smaller images and point clouds.  ``reduced=False`` runs
     the full sweeps, which takes substantially longer but follows the paper's
     configuration as closely as the substituted substrate allows.
+    ``workers`` fans each sweep's functional simulations out over a process
+    pool; results are identical to the serial run.
     """
     bundle = ResultBundle()
     energy_model = DatapathEnergyModel()
@@ -40,23 +47,33 @@ def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
     kmeans_runs = 2 if reduced else 5
     kmeans_points = 1500 if reduced else 5000
 
-    bundle.add(adder_error_cost_study(error_samples=error_samples, reduced=reduced))
-    bundle.add(multiplier_comparison(error_samples=error_samples))
+    bundle.add(adder_error_cost_study(error_samples=error_samples,
+                                      reduced=reduced, workers=workers))
+    bundle.add(multiplier_comparison(error_samples=error_samples,
+                                     workers=workers))
     bundle.add(fft_adder_sweep(reduced=reduced, energy_model=energy_model,
-                               frames=4 if reduced else 16))
+                               frames=4 if reduced else 16, workers=workers))
     bundle.add(fft_multiplier_comparison(energy_model=energy_model,
-                                         frames=4 if reduced else 16))
+                                         frames=4 if reduced else 16,
+                                         workers=workers))
     bundle.add(jpeg_adder_sweep(image_size=image_size, reduced=reduced,
-                                energy_model=energy_model))
-    bundle.add(hevc_adder_table(image_size=image_size, energy_model=energy_model))
-    bundle.add(hevc_multiplier_table(image_size=image_size, energy_model=energy_model))
+                                energy_model=energy_model, workers=workers))
+    bundle.add(hevc_adder_table(image_size=image_size, energy_model=energy_model,
+                                workers=workers))
+    bundle.add(hevc_multiplier_table(image_size=image_size,
+                                     energy_model=energy_model,
+                                     workers=workers))
     bundle.add(kmeans_adder_table(runs=kmeans_runs, points_per_run=kmeans_points,
-                                  energy_model=energy_model))
-    bundle.add(kmeans_multiplier_table(runs=kmeans_runs, points_per_run=kmeans_points,
-                                       energy_model=energy_model))
+                                  energy_model=energy_model, workers=workers))
+    bundle.add(kmeans_multiplier_table(runs=kmeans_runs,
+                                       points_per_run=kmeans_points,
+                                       energy_model=energy_model,
+                                       workers=workers))
     if include_ablations:
-        bundle.add(multiplier_compensation_ablation(error_samples=error_samples))
-        bundle.add(rounding_mode_ablation(error_samples=error_samples))
+        bundle.add(multiplier_compensation_ablation(error_samples=error_samples,
+                                                    workers=workers))
+        bundle.add(rounding_mode_ablation(error_samples=error_samples,
+                                          workers=workers))
 
     if output_dir is not None:
         bundle.save_all(output_dir)

@@ -1,0 +1,67 @@
+"""Operator-characterisation workload (Figures 3-4, Table I, ablations).
+
+The fifth "application" of the framework is APXPERF itself: joint error +
+hardware characterisation of a single operator.  Exposing it as a workload
+lets the :class:`~repro.core.study.Study` pipeline sweep operator sets with
+the same machinery (and the same process-pool parallelism) as the
+application-level experiments.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..core.characterization import Apxperf
+from ..core.datapath import OperationCounts
+from .base import OperatorMap, Workload, WorkloadResult
+
+
+@dataclass(frozen=True)
+class CharacterizationWorkload(Workload):
+    """APXPERF error + hardware characterisation of the swept operator.
+
+    Metrics: ``mse_db``, ``ber``, ``bias``, ``power_mw``, ``delay_ns``,
+    ``pdp_pj``, ``area_um2``.  The full
+    :class:`~repro.core.characterization.OperatorCharacterization` record is
+    available under ``details["characterization"]``.
+    """
+
+    error_samples: int = 100_000
+    hardware_samples: int = 1500
+    frequency_hz: float = 100e6
+    calibrated: bool = True
+    verify: bool = False
+    seed: int = 2017
+
+    name = "characterization"
+
+    def default_config(self) -> Dict[str, object]:
+        return {"error_samples": self.error_samples,
+                "hardware_samples": self.hardware_samples,
+                "frequency_hz": self.frequency_hz,
+                "calibrated": self.calibrated,
+                "verify": self.verify,
+                "seed": self.seed}
+
+    def run(self, operators: OperatorMap, config: Mapping[str, object],
+            rng: np.random.Generator) -> WorkloadResult:
+        harness = Apxperf(error_samples=int(config["error_samples"]),
+                          hardware_samples=int(config["hardware_samples"]),
+                          frequency_hz=float(config["frequency_hz"]),
+                          calibrated=bool(config["calibrated"]),
+                          seed=int(config["seed"]))
+        record = harness.characterize(operators.swept,
+                                      verify=bool(config["verify"]))
+        return WorkloadResult(
+            metrics={"mse_db": record.mse_db,
+                     "ber": record.ber,
+                     "bias": record.error.bias,
+                     "power_mw": record.power_mw,
+                     "delay_ns": record.delay_ns,
+                     "pdp_pj": record.pdp_pj,
+                     "area_um2": record.area_um2},
+            counts=OperationCounts(),
+            details={"characterization": record},
+        )

@@ -1,0 +1,58 @@
+"""FFT workload: the paper's first application, behind the plugin API."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..apps.fft import FixedPointFFT, random_q15_signal
+from ..metrics.signal import psnr_db
+from .base import OperatorMap, Workload, WorkloadResult
+
+
+def fft_output_psnr(fft: FixedPointFFT, signals: Sequence[np.ndarray]) -> float:
+    """Average output PSNR of the fixed-point FFT over several input frames."""
+    references = []
+    outputs = []
+    for signal in signals:
+        result = fft.forward(signal)
+        spectrum = result.as_complex(frac_bits=fft.frac_bits)
+        reference = fft.reference_spectrum(signal)
+        references.append(np.concatenate([reference.real, reference.imag]))
+        outputs.append(np.concatenate([spectrum.real, spectrum.imag]))
+    return psnr_db(np.concatenate(references), np.concatenate(outputs))
+
+
+@dataclass(frozen=True)
+class FftWorkload(Workload):
+    """Fixed-point FFT on random Q1.15 frames (Figure 5 / Table II setup).
+
+    Metrics: ``psnr_db`` — output PSNR against the double-precision FFT,
+    averaged over ``frames`` random frames seeded from the study seed.
+    """
+
+    size: int = 32
+    data_width: int = 16
+    frames: int = 8
+    amplitude: float = 0.5
+
+    name = "fft"
+
+    def default_config(self) -> Dict[str, object]:
+        return {"size": self.size, "data_width": self.data_width,
+                "frames": self.frames, "amplitude": self.amplitude}
+
+    def run(self, operators: OperatorMap, config: Mapping[str, object],
+            rng: np.random.Generator) -> WorkloadResult:
+        size = int(config["size"])
+        width = int(config["data_width"])
+        base_seed = int(config.get("seed", 0))
+        signals = [random_q15_signal(size, amplitude=float(config["amplitude"]),
+                                     seed=base_seed + frame)
+                   for frame in range(int(config["frames"]))]
+        fft = FixedPointFFT(size, width, adder=operators.adder,
+                            multiplier=operators.multiplier)
+        psnr = fft_output_psnr(fft, signals)
+        return WorkloadResult(metrics={"psnr_db": psnr},
+                              counts=fft.operation_counts())

@@ -1,0 +1,46 @@
+"""HEVC motion-compensation workload (Tables III and IV)."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..apps.hevc_mc import mc_quality_score
+from ..apps.images import synthetic_image
+from .base import OperatorMap, Workload, WorkloadResult
+
+
+@dataclass(frozen=True)
+class HevcWorkload(Workload):
+    """HEVC fractional-pel interpolation with swappable operators.
+
+    Metrics: ``mssim`` — similarity of the interpolated image against the
+    exact filter output.  The filter multiplies by small constant
+    coefficients, so studies over this workload typically charge
+    multiplications at the constant-coefficient rate
+    (``Study.constant_coefficient()``).
+    """
+
+    size: int = 128
+    horizontal_phase: int = 2
+    vertical_phase: int = 2
+    image: Optional[np.ndarray] = None
+
+    name = "hevc"
+
+    def default_config(self) -> Dict[str, object]:
+        return {"size": self.size, "horizontal_phase": self.horizontal_phase,
+                "vertical_phase": self.vertical_phase, "image": self.image}
+
+    def run(self, operators: OperatorMap, config: Mapping[str, object],
+            rng: np.random.Generator) -> WorkloadResult:
+        image = config.get("image")
+        if image is None:
+            image = synthetic_image(int(config["size"]))
+        score, counts = mc_quality_score(
+            image, adder=operators.adder, multiplier=operators.multiplier,
+            horizontal_phase=int(config["horizontal_phase"]),
+            vertical_phase=int(config["vertical_phase"]))
+        return WorkloadResult(metrics={"mssim": score}, counts=counts,
+                              details={"image_pixels": int(image.size)})

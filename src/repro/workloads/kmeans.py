@@ -1,0 +1,58 @@
+"""K-means workload: clustering success against the exact fixed-point run."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps.kmeans import PointCloud, generate_point_cloud, kmeans_success_rate
+from .base import OperatorMap, Workload, WorkloadResult
+
+
+@dataclass(frozen=True)
+class KmeansWorkload(Workload):
+    """Lloyd's K-means whose distance datapath uses the operators under test.
+
+    Metrics: ``success_rate`` — fraction of points assigned to the same
+    cluster as the exact fixed-point run, averaged over ``runs`` generated
+    point clouds (seeded from the study seed unless explicit ``clouds`` are
+    supplied).
+    """
+
+    runs: int = 3
+    points_per_run: int = 2000
+    clusters: int = 10
+    iterations: int = 8
+    clouds: Optional[Tuple[PointCloud, ...]] = None
+
+    name = "kmeans"
+
+    def default_config(self) -> Dict[str, object]:
+        return {"runs": self.runs, "points_per_run": self.points_per_run,
+                "clusters": self.clusters, "iterations": self.iterations,
+                "clouds": self.clouds}
+
+    def run(self, operators: OperatorMap, config: Mapping[str, object],
+            rng: np.random.Generator) -> WorkloadResult:
+        clouds: Optional[Sequence[PointCloud]] = config.get("clouds")
+        if clouds is None:
+            base_seed = int(config.get("seed", 0))
+            clouds = [generate_point_cloud(int(config["points_per_run"]),
+                                           int(config["clusters"]),
+                                           seed=base_seed + run)
+                      for run in range(int(config["runs"]))]
+        rates = []
+        counts = None
+        for cloud in clouds:
+            rate, run_counts = kmeans_success_rate(
+                cloud, adder=operators.adder, multiplier=operators.multiplier,
+                iterations=int(config["iterations"]))
+            rates.append(rate)
+            counts = run_counts
+        return WorkloadResult(
+            metrics={"success_rate": float(np.mean(rates))},
+            counts=counts,
+            details={"runs": len(clouds),
+                     "points_per_run": int(clouds[0].points.shape[0])},
+        )

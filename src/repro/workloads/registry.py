@@ -1,0 +1,52 @@
+"""Workload registry and string-spec factory (mirrors ``core.registry``).
+
+Workloads are referred to by short specification strings — ``"fft"``,
+``"fft(1024)"``, ``"jpeg(size=96)"``, ``"kmeans(runs=5, points_per_run=5000)"``
+— and this module turns those strings into configured workload instances.
+Downstream users plug their own scenarios in with :func:`register_workload`.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.registry import parse_spec
+from .base import Workload
+
+WorkloadFactory = Callable[..., Workload]
+
+_REGISTRY: Dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Register (or override) a workload factory under a short name."""
+    if not name:
+        raise ValueError("workload name must be a non-empty string")
+    _REGISTRY[name.lower()] = factory
+
+
+def registered_workloads() -> List[str]:
+    """Sorted list of known workload names."""
+    return sorted(_REGISTRY)
+
+
+def create_workload(name: str, *args: object, **kwargs: object) -> Workload:
+    """Instantiate a workload from its registry name and parameters."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"known: {', '.join(registered_workloads())}")
+    return _REGISTRY[key](*args, **kwargs)
+
+
+def parse_workload(spec: str) -> Workload:
+    """Parse a workload specification string into a workload instance.
+
+    Examples: ``"fft"``, ``"fft(1024)"``, ``"jpeg(size=96, quality=75)"``,
+    ``"hevc(size=128)"``, ``"kmeans(runs=5)"``, ``"characterization"``.
+    """
+    name, args, kwargs = parse_spec(spec)
+    try:
+        return create_workload(name, *args, **kwargs)
+    except TypeError as exc:
+        raise ValueError(f"invalid arguments for workload {name!r} in "
+                         f"specification {spec!r}: {exc}") from exc

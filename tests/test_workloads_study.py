@@ -1,0 +1,223 @@
+"""Tests for the workload plugin API and the fluent Study pipeline."""
+import numpy as np
+import pytest
+
+from repro.core import DatapathEnergyModel, Study, parse_spec, unique_by_name
+from repro.core.exploration import sweep_truncated_adders
+from repro.operators.adders import ACAAdder, TruncatedAdder
+from repro.operators.multipliers import TruncatedMultiplier
+from repro.workloads import (
+    CharacterizationWorkload,
+    FftWorkload,
+    OperatorMap,
+    Workload,
+    WorkloadResult,
+    create_workload,
+    parse_workload,
+    register_workload,
+    registered_workloads,
+)
+
+
+class TestSpecParsing(object):
+    def test_positional_and_keyword_arguments(self):
+        name, args, kwargs = parse_spec("ACA(16, prediction_bits=12)")
+        assert name == "ACA"
+        assert args == [16]
+        assert kwargs == {"prediction_bits": 12}
+
+    def test_value_types(self):
+        _, args, kwargs = parse_spec("x(2, 0.5, flag=true, other=false, w=none)")
+        assert args == [2, 0.5]
+        assert kwargs == {"flag": True, "other": False, "w": None}
+
+    def test_malformed_argument_names_token(self):
+        with pytest.raises(ValueError, match="bogus"):
+            parse_spec("ACA(16, bogus)")
+
+    def test_positional_after_keyword_rejected(self):
+        with pytest.raises(ValueError, match="positional"):
+            parse_spec("ACA(a=1, 16)")
+
+    def test_operator_kwargs_round_trip(self):
+        from repro.core import parse_operator
+
+        assert parse_operator("ACA(16, prediction_bits=12)").name == "ACA(16,12)"
+
+    def test_operator_bad_kwarg_is_value_error(self):
+        from repro.core import parse_operator
+
+        with pytest.raises(ValueError, match="ACA"):
+            parse_operator("ACA(16, no_such_parameter=3)")
+
+
+class TestWorkloadRegistry(object):
+    def test_builtins_registered(self):
+        names = registered_workloads()
+        for name in ("fft", "jpeg", "hevc", "kmeans", "characterization"):
+            assert name in names
+
+    def test_spec_round_trip(self):
+        workload = parse_workload("fft(1024, frames=2)")
+        assert isinstance(workload, FftWorkload)
+        assert workload.size == 1024
+        assert workload.frames == 2
+        config = workload.default_config()
+        assert config["size"] == 1024 and config["frames"] == 2
+
+    def test_keyword_only_spec(self):
+        workload = parse_workload("jpeg(size=96, quality=75)")
+        assert workload.default_config()["size"] == 96
+        assert workload.default_config()["quality"] == 75
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="no_such_workload"):
+            create_workload("no_such_workload")
+
+    def test_unknown_config_key_rejected(self):
+        workload = parse_workload("fft")
+        with pytest.raises(ValueError, match="no_such_key"):
+            workload.merged_config({"no_such_key": 1})
+
+    def test_custom_workload_plugin(self):
+        class CountOnly(Workload):
+            name = "count_only"
+
+            def default_config(self):
+                return {"ops": 3}
+
+            def run(self, operators, config, rng):
+                from repro.core import OperationCounts
+
+                return WorkloadResult(
+                    metrics={"quality": 1.0},
+                    counts=OperationCounts(additions=int(config["ops"])))
+
+        register_workload("count_only", CountOnly)
+        try:
+            result = (Study().workload("count_only").config(ops=5)
+                      .adders([TruncatedAdder(16, 10)])
+                      .energy(DatapathEnergyModel(hardware_samples=200))
+                      .run())
+            assert result.rows[0]["additions"] == 5
+        finally:
+            import repro.workloads.registry as registry
+
+            registry._REGISTRY.pop("count_only", None)
+
+
+class TestStudy(object):
+    def _study(self, seed=0):
+        return (Study()
+                .workload("fft(32, frames=2)")
+                .adders(["ADDt(16,10)", "ACA(16,8)"])
+                .energy(DatapathEnergyModel(hardware_samples=200))
+                .seed(seed))
+
+    def test_requires_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            Study().adders([TruncatedAdder(16, 10)]).run()
+
+    def test_seed_determinism(self):
+        first = self._study(seed=7).run()
+        second = self._study(seed=7).run()
+        assert first.rows == second.rows
+        different = self._study(seed=8).run()
+        assert [r["psnr_db"] for r in different.rows] \
+            != [r["psnr_db"] for r in first.rows]
+
+    def test_serial_and_parallel_results_identical(self):
+        serial = self._study().run(workers=1)
+        parallel = self._study().run(workers=2)
+        assert serial.rows == parallel.rows
+        assert serial.columns == parallel.columns
+
+    def test_shared_characterization_cache(self, monkeypatch):
+        import repro.core.datapath as datapath
+
+        calls = []
+        original = datapath.characterize_hardware
+
+        def counting(operator, **kwargs):
+            calls.append(operator.name)
+            return original(operator, **kwargs)
+
+        monkeypatch.setattr(datapath, "characterize_hardware", counting)
+        model = DatapathEnergyModel(hardware_samples=200)
+        # The same adder appears twice: the cache must characterise each
+        # distinct operator exactly once across the whole sweep.
+        (Study().workload("fft(32, frames=1)")
+         .adders([TruncatedAdder(16, 10), TruncatedAdder(16, 10),
+                  ACAAdder(16, 8)])
+         .energy(model).run())
+        assert len(calls) == len(set(calls))
+        assert set(model._cache) == set(calls)
+
+    def test_string_specs_and_default_rows(self):
+        result = (Study().workload("kmeans(runs=1, points_per_run=300, iterations=3)")
+                  .multipliers([TruncatedMultiplier(16, 16)])
+                  .energy(DatapathEnergyModel(hardware_samples=200))
+                  .run())
+        row = result.rows[0]
+        assert row["workload"] == "kmeans"
+        assert row["multiplier"] == "MULt(16,16)"
+        assert 0.0 <= row["success_rate"] <= 1.0
+        assert row["total_energy_pj"] > 0.0
+
+    def test_axis_type_mismatch(self):
+        with pytest.raises(TypeError, match="not an adder"):
+            (Study().workload("fft")
+             .adders([TruncatedMultiplier(16, 16)]).run())
+
+    def test_characterization_workload_via_study(self):
+        result = (Study()
+                  .workload(CharacterizationWorkload(error_samples=5_000,
+                                                     hardware_samples=200))
+                  .operators(["ADDt(16,10)"])
+                  .run())
+        row = result.rows[0]
+        assert row["operator"] == "ADDt(16,10)"
+        assert row["pdp_pj"] > 0.0
+
+    def test_run_bundle(self):
+        bundle = (Study().workload("fft(32, frames=1)")
+                  .adders(["ADDt(16,10)"])
+                  .energy(DatapathEnergyModel(hardware_samples=200))
+                  .experiment("bundle_test")
+                  .run_bundle())
+        assert "bundle_test" in bundle.results
+
+    def test_workload_run_is_pure(self):
+        """The same workload object gives identical results on repeat runs."""
+        workload = FftWorkload(size=32, frames=2)
+        operators = OperatorMap(swept=TruncatedAdder(16, 10),
+                                adder=TruncatedAdder(16, 10))
+        config = workload.merged_config({})
+        config["seed"] = 3
+        first = workload.run(operators, config, np.random.default_rng(3))
+        second = workload.run(operators, config, np.random.default_rng(3))
+        assert first.metrics == second.metrics
+        assert first.counts.additions == second.counts.additions
+
+
+class TestSweepDeduplication(object):
+    def test_unique_by_name(self):
+        operators = sweep_truncated_adders(16, [10, 8]) \
+            + sweep_truncated_adders(16, [10, 6])
+        unique = unique_by_name(operators)
+        assert [op.name for op in unique] \
+            == ["ADDt(16,10)", "ADDt(16,8)", "ADDt(16,6)"]
+
+    def test_default_adder_sweep_has_no_duplicates(self):
+        from repro.core import default_adder_sweep
+
+        names = [op.name for op in default_adder_sweep()]
+        assert len(names) == len(set(names))
+
+    def test_composed_sweep_cannot_double_charge(self):
+        from repro.core import default_adder_sweep
+
+        # Composing the default sweep with itself must not grow it.
+        once = default_adder_sweep()
+        twice = unique_by_name(list(once) + list(default_adder_sweep()))
+        assert [op.name for op in twice] == [op.name for op in once]
