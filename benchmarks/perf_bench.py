@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark of the execution backends, emitting ``BENCH_perf.json``.
+
+Two representative 16-bit studies run on each
+:class:`~repro.core.backends.ExecutionBackend`:
+
+* ``jpeg16`` — the JPEG multiplier comparison (data-sized ``MULt`` against
+  the approximate AAM / ABM / Booth multipliers) over a 10-frame synthetic
+  sequence, the setup where the ``"lut"`` backend's constant-coefficient
+  tables carry the DCT's hot loop.
+* ``fft16`` — the FFT-1024 data-sized adder sweep, where the sum-indexed
+  adder tables carry the butterfly additions.
+
+Each study is timed with the ``"direct"`` reference backend, with a cold
+``"lut"`` backend (empty table cache — includes every table build) and with a
+warm one (tables already resident, the steady state of a long sweep
+campaign).  The emitted records are asserted bit-identical across backends
+before any number is written.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf_bench.py [--output BENCH_perf.json]
+
+Pass ``--min-jpeg-speedup 3`` to make the script exit non-zero unless the
+cold LUT backend beats direct by at least that factor on the JPEG study.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import Study, __version__
+from repro.core import clear_table_cache
+
+#: The benchmarked studies: name -> (workload spec, sweep axis, operator specs).
+STUDIES = {
+    "jpeg16": {
+        "workload": "jpeg(size=192, quality=90, frames=10)",
+        "axis": "multipliers",
+        "operators": ["MULt(16,16)", "AAM(16)", "ABM(16)", "BOOTH(16)"],
+        "description": "16-bit JPEG study: DCT multiplier comparison over a "
+                       "10-frame synthetic sequence",
+    },
+    "fft16": {
+        "workload": "fft(1024, frames=2)",
+        "axis": "adders",
+        "operators": ["ADDt(16,14)", "ADDt(16,12)", "ADDt(16,10)",
+                      "ADDt(16,8)", "ADDr(16,12)", "ADDr(16,10)"],
+        "description": "16-bit FFT-1024 study: data-sized adder sweep",
+    },
+}
+
+SEED = 7
+
+
+def build_study(spec: dict, backend: str) -> Study:
+    study = Study().workload(spec["workload"]).seed(SEED).backend(backend)
+    getattr(study, spec["axis"])(spec["operators"])
+    return study
+
+
+def time_study(spec: dict, backend: str, cold: bool):
+    """Run one study once; returns (wall seconds, result rows)."""
+    if cold:
+        clear_table_cache()
+    start = time.perf_counter()
+    result = build_study(spec, backend).run()
+    return time.perf_counter() - start, result.rows
+
+
+def bench_study(name: str, spec: dict) -> dict:
+    direct_s, direct_rows = time_study(spec, "direct", cold=True)
+    lut_cold_s, lut_rows = time_study(spec, "lut", cold=True)
+    lut_warm_s, lut_warm_rows = time_study(spec, "lut", cold=False)
+    identical = direct_rows == lut_rows == lut_warm_rows
+    if not identical:
+        raise AssertionError(
+            f"{name}: lut backend records differ from the direct reference")
+    record = {
+        "description": spec["description"],
+        "workload": spec["workload"],
+        "sweep": list(spec["operators"]),
+        "seed": SEED,
+        "direct_s": round(direct_s, 4),
+        "lut_cold_s": round(lut_cold_s, 4),
+        "lut_warm_s": round(lut_warm_s, 4),
+        "speedup_cold": round(direct_s / lut_cold_s, 2),
+        "speedup_warm": round(direct_s / lut_warm_s, 2),
+        "identical_records": identical,
+    }
+    print(f"{name}: direct {direct_s:6.2f}s | lut cold {lut_cold_s:6.2f}s "
+          f"({record['speedup_cold']:.2f}x) | lut warm {lut_warm_s:6.2f}s "
+          f"({record['speedup_warm']:.2f}x) | records identical")
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="path of the emitted JSON (default: %(default)s)")
+    parser.add_argument("--min-jpeg-speedup", type=float, default=0.0,
+                        help="fail unless the cold LUT speedup on the jpeg16 "
+                             "study reaches this factor (default: report only)")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "script": "benchmarks/perf_bench.py",
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "studies": {name: bench_study(name, spec)
+                    for name, spec in STUDIES.items()},
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    jpeg_speedup = payload["studies"]["jpeg16"]["speedup_cold"]
+    if args.min_jpeg_speedup and jpeg_speedup < args.min_jpeg_speedup:
+        print(f"FAIL: jpeg16 cold speedup {jpeg_speedup:.2f}x is below the "
+              f"required {args.min_jpeg_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

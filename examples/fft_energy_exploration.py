@@ -12,7 +12,7 @@ Run with::
 
     python examples/fft_energy_exploration.py
 """
-from repro.core import DatapathEnergyModel, minimal_multiplier_for
+from repro.core import ApproxContext, DatapathEnergyModel, minimal_multiplier_for
 from repro.core.exploration import (
     sweep_aca_adders,
     sweep_etaiv_adders,
@@ -37,7 +37,10 @@ def main() -> None:
 
     rows = []
     for adder in adders:
-        fft = FixedPointFFT(32, 16, adder=adder)
+        # The "lut" backend serves repeated operator calls from cached truth
+        # tables; the records are bit-identical to the "direct" reference.
+        fft = FixedPointFFT(32, 16, context=ApproxContext(adder=adder,
+                                                          backend="lut"))
         psnr = fft_output_psnr(fft, signals)
         multiplier = minimal_multiplier_for(adder)
         energy = energy_model.application_energy_pj(fft.operation_counts(),

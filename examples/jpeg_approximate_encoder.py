@@ -13,7 +13,12 @@ Run with::
 """
 from repro.apps.images import synthetic_image
 from repro.apps.jpeg import JpegEncoder
-from repro.core import DatapathEnergyModel, minimal_multiplier_for, parse_operator
+from repro.core import (
+    ApproxContext,
+    DatapathEnergyModel,
+    minimal_multiplier_for,
+    parse_operator,
+)
 from repro.metrics import mssim
 
 ADDER_SPECS = [
@@ -36,7 +41,8 @@ def main() -> None:
     print(f"{'adder':16s} {'MSSIM':>7s} {'DCT energy pJ':>14s} {'~size bytes':>12s}")
     for spec in ADDER_SPECS:
         adder = parse_operator(spec)
-        encoder = JpegEncoder(quality=90, adder=adder)
+        encoder = JpegEncoder(quality=90,
+                              context=ApproxContext(adder=adder, backend="lut"))
         outcome = encoder.encode_decode(image)
         score = mssim(reference.reconstructed, outcome.reconstructed)
         energy = energy_model.application_energy_pj(

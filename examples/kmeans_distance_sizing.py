@@ -12,7 +12,12 @@ Run with::
     python examples/kmeans_distance_sizing.py
 """
 from repro.apps.kmeans import generate_point_cloud, kmeans_success_rate
-from repro.core import DatapathEnergyModel, minimal_multiplier_for, parse_operator
+from repro.core import (
+    ApproxContext,
+    DatapathEnergyModel,
+    minimal_multiplier_for,
+    parse_operator,
+)
 
 ADDER_SPECS = ["ADDt(16,11)", "ADDt(16,8)", "ACA(16,12)", "ETAIV(16,4)",
                "RCAApx(16,6,3)", "RCAApx(16,10,1)"]
@@ -29,7 +34,8 @@ def main() -> None:
         adder = parse_operator(spec)
         rates, counts = [], None
         for cloud in clouds:
-            rate, counts = kmeans_success_rate(cloud, adder=adder, iterations=8)
+            rate, counts = kmeans_success_rate(
+                cloud, context=ApproxContext(adder=adder), iterations=8)
             rates.append(rate)
         energy = energy_model.application_energy_pj(
             counts, adder, minimal_multiplier_for(adder))
@@ -44,8 +50,9 @@ def main() -> None:
         multiplier = parse_operator(spec)
         rates, counts = [], None
         for cloud in clouds:
-            rate, counts = kmeans_success_rate(cloud, multiplier=multiplier,
-                                               iterations=8)
+            rate, counts = kmeans_success_rate(
+                cloud, context=ApproxContext(multiplier=multiplier),
+                iterations=8)
             rates.append(rate)
         energy = energy_model.application_energy_pj(counts, exact_adder, multiplier)
         print(f"{spec:16s} {100 * sum(rates) / len(rates):10.2f} "

@@ -11,7 +11,9 @@ The package is organised as the paper's APXPERF framework:
 * :mod:`repro.metrics` — MSE, BER, PSNR, MSSIM, clustering success rate and
   the other error metrics;
 * :mod:`repro.core` — the characterisation harness, operator registry,
-  design-space sweeps and the datapath energy model (Equation 1);
+  design-space sweeps, the datapath energy model (Equation 1), and the
+  :class:`ApproxContext` / execution-backend layer (``"direct"`` or the
+  table-driven ``"lut"``, bit-identical records) consumed by the kernels;
 * :mod:`repro.apps` — the four instrumented applications (FFT, JPEG/DCT,
   HEVC motion compensation, K-means);
 * :mod:`repro.workloads` — the unified workload plugin API wrapping those
@@ -30,28 +32,40 @@ Quick start::
     print(result.to_text())
 """
 from .core import (
+    ApproxContext,
     Apxperf,
     DatapathEnergyModel,
+    DirectBackend,
+    ExecutionBackend,
     ExperimentResult,
+    LutBackend,
     OperatorCharacterization,
     ResultBundle,
     Study,
+    parse_backend,
     parse_operator,
+    register_backend,
 )
 from .workloads import Workload, WorkloadResult, parse_workload, register_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ApproxContext",
     "Apxperf",
     "OperatorCharacterization",
     "DatapathEnergyModel",
+    "ExecutionBackend",
+    "DirectBackend",
+    "LutBackend",
     "ExperimentResult",
     "ResultBundle",
     "Study",
     "Workload",
     "WorkloadResult",
+    "parse_backend",
     "parse_operator",
+    "register_backend",
     "parse_workload",
     "register_workload",
     "__version__",

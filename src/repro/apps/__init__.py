@@ -15,6 +15,7 @@ from .jpeg import (
     JpegResult,
     LUMINANCE_QUANTIZATION_TABLE,
     estimate_coded_bits,
+    estimate_coded_bits_blocks,
     jpeg_quality_score,
     quality_scaled_table,
     run_length_encode,
@@ -41,6 +42,7 @@ __all__ = [
     "zigzag_order",
     "run_length_encode",
     "estimate_coded_bits",
+    "estimate_coded_bits_blocks",
     "LUMINANCE_QUANTIZATION_TABLE",
     "MotionCompensationFilter",
     "McFilterResult",

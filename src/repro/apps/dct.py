@@ -2,13 +2,16 @@
 
 The two-dimensional DCT-II is computed as ``C · X · C^T`` with the cosine
 matrix quantised to the datapath word length and every multiply-accumulate
-routed through the supplied operator models.  This is the kernel whose
-operators the paper swaps in the JPEG experiment (Figure 6).
+routed through the :class:`~repro.core.context.ApproxContext` supplied by the
+caller.  This is the kernel whose operators the paper swaps in the JPEG
+experiment (Figure 6).
 
 Blocks are processed in batches: the transform accepts a ``(blocks, 8, 8)``
 array and evaluates each multiply-accumulate step across every block in one
-vectorised operator call, which keeps the full-image experiments fast without
-changing the bit-accurate arithmetic.
+vectorised context call, which keeps the full-image experiments fast without
+changing the bit-accurate arithmetic.  Cosine coefficients reach the context
+as scalar constants, so LUT backends can serve each coefficient
+multiplication from a cached table.
 """
 from __future__ import annotations
 
@@ -16,11 +19,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.datapath import OperationCounter, OperationCounts
-from ..fxp.quantize import wrap_to_width
-from ..operators.adders import ExactAdder
-from ..operators.base import AdderOperator, MultiplierOperator
-from ..operators.multipliers import TruncatedMultiplier
+from ..core.context import ApproxContext
+from ..core.datapath import OperationCounts
 
 BLOCK_SIZE = 8
 
@@ -36,7 +36,7 @@ def dct_matrix(block_size: int = BLOCK_SIZE) -> np.ndarray:
 
 
 class FixedPointDCT:
-    """8x8 DCT / inverse DCT on 16-bit fixed-point data with swappable operators.
+    """8x8 DCT / inverse DCT on 16-bit fixed-point data with a swappable context.
 
     Level-shifted pixels are represented as Q10.5 codes (five fractional
     bits): the 2-D DCT of an 8x8 block of values in ``[-128, 127]`` stays
@@ -47,68 +47,73 @@ class FixedPointDCT:
     """
 
     def __init__(self, data_width: int = 16,
-                 adder: Optional[AdderOperator] = None,
-                 multiplier: Optional[MultiplierOperator] = None,
+                 context: Optional[ApproxContext] = None,
                  block_size: int = BLOCK_SIZE) -> None:
+        if context is None:
+            context = ApproxContext(data_width=data_width)
+        elif context.data_width != data_width:
+            raise ValueError(
+                f"context word length ({context.data_width} bits) does not "
+                f"match the requested datapath ({data_width} bits)")
         self.block_size = block_size
-        self.data_width = data_width
+        self.context = context
+        self.data_width = context.data_width
         self.pixel_frac_bits = 5
         self.coeff_frac_bits = 14
-        self.adder = adder if adder is not None else ExactAdder(data_width)
-        self.multiplier = multiplier if multiplier is not None \
-            else TruncatedMultiplier(data_width, data_width)
         basis = dct_matrix(block_size)
         self._coeffs = np.round(basis * (1 << self.coeff_frac_bits)).astype(np.int64)
         self._basis_float = basis
 
+    @property
+    def adder(self):
+        """Adder model executing the accumulations."""
+        return self.context.adder
+
+    @property
+    def multiplier(self):
+        """Multiplier model executing the coefficient multiplications."""
+        return self.context.multiplier
+
     # ------------------------------------------------------------------ #
     # Instrumented arithmetic
     # ------------------------------------------------------------------ #
-    def _matmul(self, coeffs: np.ndarray, data: np.ndarray,
-                counter: OperationCounter) -> np.ndarray:
-        """``coeffs @ data`` per block, through the operator models.
+    def _matmul(self, coeffs: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """``coeffs @ data`` per block, through the context's operators.
 
         ``data`` has shape ``(blocks, n, columns)``; the result has shape
         ``(blocks, n, columns)`` where row ``r`` is the instrumented dot
         product of coefficient row ``r`` with the data rows.
         """
+        ctx = self.context
         blocks, n, columns = data.shape
         result = np.zeros_like(data)
         for r in range(n):
             accumulator = np.zeros((blocks, columns), dtype=np.int64)
             for k in range(n):
-                coefficient = np.full((blocks, columns), coeffs[r, k], dtype=np.int64)
-                counter.count_multiplications(blocks * columns)
-                product = np.asarray(
-                    self.multiplier.aligned(data[:, k, :], coefficient),
-                    dtype=np.int64)
-                term = product >> self.coeff_frac_bits
-                term = np.asarray(wrap_to_width(term, self.data_width), dtype=np.int64)
-                counter.count_additions(blocks * columns)
-                accumulator = np.asarray(self.adder.aligned(accumulator, term),
-                                         dtype=np.int64)
+                product = ctx.mul(data[:, k, :], int(coeffs[r, k]))
+                term = ctx.wrap(product >> self.coeff_frac_bits)
+                accumulator = ctx.add(accumulator, term)
             result[:, r, :] = accumulator
         return result
 
     # ------------------------------------------------------------------ #
     # Transforms
     # ------------------------------------------------------------------ #
-    def forward(self, blocks: np.ndarray,
-                counter: Optional[OperationCounter] = None) -> np.ndarray:
+    def forward(self, blocks: np.ndarray) -> np.ndarray:
         """2-D DCT of level-shifted pixel blocks; returns Q10.5 codes.
 
         ``blocks`` is either one ``(8, 8)`` block or a ``(count, 8, 8)``
-        batch; the output has the same shape.
+        batch; the output has the same shape.  Operation counts accumulate
+        on the context's counter.
         """
-        counter = counter if counter is not None else OperationCounter()
         data = np.asarray(blocks, dtype=np.int64)
         single = data.ndim == 2
         if single:
             data = data[np.newaxis, :, :]
         codes = data << self.pixel_frac_bits
-        temp = self._matmul(self._coeffs, codes, counter)
+        temp = self._matmul(self._coeffs, codes)
         transposed = np.transpose(temp, (0, 2, 1))
-        result = np.transpose(self._matmul(self._coeffs, transposed, counter),
+        result = np.transpose(self._matmul(self._coeffs, transposed),
                               (0, 2, 1))
         return result[0] if single else result
 
@@ -122,7 +127,9 @@ class FixedPointDCT:
         data = np.asarray(coefficients, dtype=np.float64)
         if data.ndim == 2:
             return self._basis_float.T @ data @ self._basis_float
-        return np.einsum("ij,bjk,kl->bil", self._basis_float.T, data,
+        # Stacked dgemms are substantially faster than the equivalent einsum
+        # for full-image batches.
+        return np.matmul(np.matmul(self._basis_float.T, data),
                          self._basis_float)
 
     def to_float(self, codes: np.ndarray) -> np.ndarray:

@@ -2,10 +2,13 @@
 
 The transform operates on 16-bit two's-complement data (Q1.15) and routes
 every addition/subtraction and every twiddle multiplication through the
-operator models supplied by the caller, counting operations along the way so
-the datapath energy model (Equation 1) can charge them.  Per-stage scaling by
-1/2 keeps the butterflies overflow-free, which is the classical fixed-point
-FFT arrangement.
+:class:`~repro.core.context.ApproxContext` supplied by the caller, counting
+operations along the way so the datapath energy model (Equation 1) can charge
+them.  Per-stage scaling by 1/2 keeps the butterflies overflow-free, which is
+the classical fixed-point FFT arrangement.
+
+Twiddle factors reach the context as scalar constants, so LUT backends can
+evaluate each twiddle multiplication with one cached table gather.
 """
 from __future__ import annotations
 
@@ -15,11 +18,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..core.datapath import OperationCounter, OperationCounts
-from ..fxp.quantize import wrap_to_width
-from ..operators.adders import ExactAdder
-from ..operators.base import AdderOperator, MultiplierOperator
-from ..operators.multipliers import TruncatedMultiplier
+from ..core.context import ApproxContext
+from ..core.datapath import OperationCounts
 
 
 @dataclass(frozen=True)
@@ -45,24 +45,37 @@ class FixedPointFFT:
         Transform length (a power of two; the paper uses 32).
     data_width:
         Word length of the datapath (16 bits in every experiment).
-    adder / multiplier:
-        Operator models executing the additions and twiddle multiplications.
-        ``None`` selects the accurate adder and the fixed-width truncated
-        multiplier, which is the exact fixed-point baseline.
+    context:
+        The :class:`ApproxContext` executing the additions and twiddle
+        multiplications.  ``None`` selects the exact fixed-point baseline
+        (accurate adder, fixed-width truncated multiplier, direct backend).
     """
 
     def __init__(self, size: int = 32, data_width: int = 16,
-                 adder: Optional[AdderOperator] = None,
-                 multiplier: Optional[MultiplierOperator] = None) -> None:
+                 context: Optional[ApproxContext] = None) -> None:
         if size < 2 or size & (size - 1) != 0:
             raise ValueError("FFT size must be a power of two >= 2")
+        if context is None:
+            context = ApproxContext(data_width=data_width)
+        elif context.data_width != data_width:
+            raise ValueError(
+                f"context word length ({context.data_width} bits) does not "
+                f"match the requested datapath ({data_width} bits)")
         self.size = size
-        self.data_width = data_width
-        self.frac_bits = data_width - 1
-        self.adder = adder if adder is not None else ExactAdder(data_width)
-        self.multiplier = multiplier if multiplier is not None \
-            else TruncatedMultiplier(data_width, data_width)
+        self.context = context
+        self.data_width = context.data_width
+        self.frac_bits = context.frac_bits
         self._twiddles = self._quantized_twiddles()
+
+    @property
+    def adder(self):
+        """Adder model executing the butterfly additions."""
+        return self.context.adder
+
+    @property
+    def multiplier(self):
+        """Multiplier model executing the twiddle multiplications."""
+        return self.context.multiplier
 
     # ------------------------------------------------------------------ #
     # Twiddle factors
@@ -79,26 +92,10 @@ class FixedPointFFT:
     # ------------------------------------------------------------------ #
     # Instrumented arithmetic
     # ------------------------------------------------------------------ #
-    def _add(self, a: np.ndarray, b: np.ndarray,
-             counter: OperationCounter) -> np.ndarray:
-        counter.count_additions(int(np.size(a)))
-        return np.asarray(self.adder.aligned(a, b), dtype=np.int64)
-
-    def _sub(self, a: np.ndarray, b: np.ndarray,
-             counter: OperationCounter) -> np.ndarray:
-        negated = np.asarray(
-            wrap_to_width(-np.asarray(b, dtype=np.int64), self.data_width),
-            dtype=np.int64)
-        counter.count_additions(int(np.size(a)))
-        return np.asarray(self.adder.aligned(a, negated), dtype=np.int64)
-
-    def _mul(self, a: np.ndarray, b: np.ndarray,
-             counter: OperationCounter) -> np.ndarray:
+    def _mul(self, a: np.ndarray, twiddle: int) -> np.ndarray:
         """Q1.15 x Q1.15 product re-aligned to Q1.15 (shift by frac_bits)."""
-        counter.count_multiplications(int(np.size(a)))
-        product = np.asarray(self.multiplier.aligned(a, b), dtype=np.int64)
-        result = product >> self.frac_bits
-        return np.asarray(wrap_to_width(result, self.data_width), dtype=np.int64)
+        product = self.context.mul(a, twiddle)
+        return self.context.wrap(product >> self.frac_bits)
 
     @staticmethod
     def _halve(value: np.ndarray) -> np.ndarray:
@@ -117,10 +114,11 @@ class FixedPointFFT:
             reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
         return reversed_indices
 
-    def forward(self, real: np.ndarray, imag: Optional[np.ndarray] = None,
-                counter: Optional[OperationCounter] = None) -> FftResult:
+    def forward(self, real: np.ndarray,
+                imag: Optional[np.ndarray] = None) -> FftResult:
         """Run the transform on Q1.(data_width-1) integer codes."""
-        counter = counter if counter is not None else OperationCounter()
+        ctx = self.context
+        start = ctx.counts
         x_re = np.asarray(real, dtype=np.int64).copy()
         x_im = np.zeros_like(x_re) if imag is None \
             else np.asarray(imag, dtype=np.int64).copy()
@@ -136,31 +134,29 @@ class FixedPointFFT:
             step = self.size // (2 * half)
             for offset in range(half):
                 # All butterflies sharing this twiddle, across every group,
-                # are evaluated in one vectorised call to the operator models.
+                # are evaluated in one vectorised call into the context.
                 tops = np.arange(offset, self.size, 2 * half, dtype=np.int64)
                 bottoms = tops + half
                 k = offset * step
-                w_re = np.full(tops.shape, tw_re[k], dtype=np.int64)
-                w_im = np.full(tops.shape, tw_im[k], dtype=np.int64)
+                w_re = int(tw_re[k])
+                w_im = int(tw_im[k])
 
                 # Pre-scale both branches to keep the butterfly in range.
                 a_re, a_im = self._halve(x_re[tops]), self._halve(x_im[tops])
                 b_re, b_im = self._halve(x_re[bottoms]), self._halve(x_im[bottoms])
 
                 # Complex twiddle multiplication (4 real mult, 2 real add).
-                prod_re = self._sub(self._mul(b_re, w_re, counter),
-                                    self._mul(b_im, w_im, counter), counter)
-                prod_im = self._add(self._mul(b_re, w_im, counter),
-                                    self._mul(b_im, w_re, counter), counter)
+                prod_re = ctx.sub(self._mul(b_re, w_re), self._mul(b_im, w_im))
+                prod_im = ctx.add(self._mul(b_re, w_im), self._mul(b_im, w_re))
 
                 # Butterfly combine (4 real additions).
-                x_re[tops] = self._add(a_re, prod_re, counter)
-                x_im[tops] = self._add(a_im, prod_im, counter)
-                x_re[bottoms] = self._sub(a_re, prod_re, counter)
-                x_im[bottoms] = self._sub(a_im, prod_im, counter)
+                x_re[tops] = ctx.add(a_re, prod_re)
+                x_im[tops] = ctx.add(a_im, prod_im)
+                x_re[bottoms] = ctx.sub(a_re, prod_re)
+                x_im[bottoms] = ctx.sub(a_im, prod_im)
             half *= 2
 
-        return FftResult(real=x_re, imag=x_im, counts=counter.snapshot())
+        return FftResult(real=x_re, imag=x_im, counts=ctx.counts_since(start))
 
     # ------------------------------------------------------------------ #
     # References

@@ -9,7 +9,9 @@ and measures the MSSIM of the interpolated image against the exact filter
 output (Tables III and IV).
 
 The multiplications are by small constant coefficients, which is why the
-datapath model charges them as constant-coefficient multiplications.
+datapath model charges them as constant-coefficient multiplications — and why
+the taps reach the :class:`~repro.core.context.ApproxContext` as scalars, so
+LUT backends serve them from cached tables.
 """
 from __future__ import annotations
 
@@ -18,12 +20,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core.datapath import OperationCounter, OperationCounts
-from ..fxp.quantize import wrap_to_width
+from ..core.context import ApproxContext
+from ..core.datapath import OperationCounts
 from ..metrics.image import mssim
-from ..operators.adders import ExactAdder
-from ..operators.base import AdderOperator, MultiplierOperator
-from ..operators.multipliers import TruncatedMultiplier
 
 #: HEVC luma interpolation filter coefficients (8 taps) per fractional phase.
 LUMA_FILTERS: Dict[int, Tuple[int, ...]] = {
@@ -55,15 +54,28 @@ class McFilterResult:
 
 
 class MotionCompensationFilter:
-    """Separable HEVC fractional interpolation with swappable operators."""
+    """Separable HEVC fractional interpolation through an ApproxContext."""
 
     def __init__(self, data_width: int = 16,
-                 adder: Optional[AdderOperator] = None,
-                 multiplier: Optional[MultiplierOperator] = None) -> None:
-        self.data_width = data_width
-        self.adder = adder if adder is not None else ExactAdder(data_width)
-        self.multiplier = multiplier if multiplier is not None \
-            else TruncatedMultiplier(data_width, data_width)
+                 context: Optional[ApproxContext] = None) -> None:
+        if context is None:
+            context = ApproxContext(data_width=data_width)
+        elif context.data_width != data_width:
+            raise ValueError(
+                f"context word length ({context.data_width} bits) does not "
+                f"match the requested datapath ({data_width} bits)")
+        self.context = context
+        self.data_width = context.data_width
+
+    @property
+    def adder(self):
+        """Adder model executing the tap accumulations."""
+        return self.context.adder
+
+    @property
+    def multiplier(self):
+        """Multiplier model executing the coefficient multiplications."""
+        return self.context.multiplier
 
     # ------------------------------------------------------------------ #
     # Instrumented arithmetic
@@ -74,25 +86,20 @@ class MotionCompensationFilter:
     _PIXEL_SHIFT = 7
     _COEFF_SHIFT = 8
 
-    def _mac(self, accumulator: np.ndarray, samples: np.ndarray, coefficient: int,
-             counter: OperationCounter) -> np.ndarray:
+    def _mac(self, accumulator: np.ndarray, samples: np.ndarray,
+             coefficient: int) -> np.ndarray:
         if coefficient == 0:
             return accumulator
+        ctx = self.context
         scaled_samples = np.asarray(samples, dtype=np.int64) << self._PIXEL_SHIFT
-        coeff = np.full(samples.shape, coefficient << self._COEFF_SHIFT,
-                        dtype=np.int64)
-        counter.count_multiplications(int(samples.size))
-        product = np.asarray(self.multiplier.aligned(scaled_samples, coeff),
-                             dtype=np.int64)
+        product = ctx.mul(scaled_samples, int(coefficient) << self._COEFF_SHIFT)
         # Re-align the product to plain pixel*coefficient units; the HEVC
         # intermediate values then fit the 16-bit accumulation by design.
-        term = product >> (self._PIXEL_SHIFT + self._COEFF_SHIFT)
-        term = np.asarray(wrap_to_width(term, self.data_width), dtype=np.int64)
-        counter.count_additions(int(samples.size))
-        return np.asarray(self.adder.aligned(accumulator, term), dtype=np.int64)
+        term = ctx.wrap(product >> (self._PIXEL_SHIFT + self._COEFF_SHIFT))
+        return ctx.add(accumulator, term)
 
-    def _filter_axis(self, image: np.ndarray, taps: Tuple[int, ...], axis: int,
-                     counter: OperationCounter) -> np.ndarray:
+    def _filter_axis(self, image: np.ndarray, taps: Tuple[int, ...],
+                     axis: int) -> np.ndarray:
         """Apply one 1-D filter along ``axis`` with edge padding."""
         radius_before = len(taps) // 2 - 1
         radius_after = len(taps) - 1 - radius_before
@@ -106,45 +113,46 @@ class MotionCompensationFilter:
                 window = padded[index:index + image.shape[0], :]
             else:
                 window = padded[:, index:index + image.shape[1]]
-            accumulator = self._mac(accumulator, window, coefficient, counter)
+            accumulator = self._mac(accumulator, window, coefficient)
         return accumulator >> FILTER_SHIFT
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def interpolate(self, image: np.ndarray, horizontal_phase: int = 2,
-                    vertical_phase: int = 2,
-                    counter: Optional[OperationCounter] = None) -> McFilterResult:
+                    vertical_phase: int = 2) -> McFilterResult:
         """Interpolate an 8-bit image at the requested fractional phases."""
         if horizontal_phase not in LUMA_FILTERS or vertical_phase not in LUMA_FILTERS:
             raise ValueError("phases must be one of the quarter-pel positions 0..3")
-        counter = counter if counter is not None else OperationCounter()
+        start = self.context.counts
         samples = np.asarray(image, dtype=np.int64)
 
         result = samples
         if horizontal_phase != 0:
             result = self._filter_axis(result, LUMA_FILTERS[horizontal_phase],
-                                       axis=1, counter=counter)
+                                       axis=1)
         if vertical_phase != 0:
             result = self._filter_axis(result, LUMA_FILTERS[vertical_phase],
-                                       axis=0, counter=counter)
+                                       axis=0)
         clipped = np.clip(result, 0, 255)
-        return McFilterResult(interpolated=clipped, counts=counter.snapshot())
+        return McFilterResult(interpolated=clipped,
+                              counts=self.context.counts_since(start))
 
     def reference_interpolate(self, image: np.ndarray, horizontal_phase: int = 2,
                               vertical_phase: int = 2) -> np.ndarray:
         """Exact integer reference of the same interpolation."""
-        exact = MotionCompensationFilter(self.data_width)
+        exact = MotionCompensationFilter(
+            self.data_width, context=self.context.exact_reference())
         return exact.interpolate(image, horizontal_phase, vertical_phase).interpolated
 
 
 def mc_quality_score(image: np.ndarray,
-                     adder: Optional[AdderOperator] = None,
-                     multiplier: Optional[MultiplierOperator] = None,
+                     context: Optional[ApproxContext] = None,
                      horizontal_phase: int = 2, vertical_phase: int = 2
                      ) -> Tuple[float, OperationCounts]:
     """MSSIM of the approximate MC filter output against the exact one."""
-    mc = MotionCompensationFilter(adder=adder, multiplier=multiplier)
+    mc = MotionCompensationFilter(
+        context=context if context is not None else ApproxContext())
     approx = mc.interpolate(image, horizontal_phase, vertical_phase)
     reference = mc.reference_interpolate(image, horizontal_phase, vertical_phase)
     score = mssim(reference.astype(np.float64),

@@ -10,6 +10,8 @@ the *same* image, so the conclusions do not depend on the particular content.
 """
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 
@@ -17,7 +19,16 @@ def synthetic_image(size: int = 256, seed: int = 2017) -> np.ndarray:
     """Reproducible grayscale test image with natural-image statistics.
 
     Returns a ``(size, size)`` array of ``uint8`` values in ``[0, 255]``.
+    The image is deterministic in ``(size, seed)``, so repeated requests
+    (every sweep point of a study asks for the same stimulus) are served
+    from a small cache; the returned array is marked read-only to keep the
+    cache coherent.
     """
+    return _synthetic_image_cached(int(size), int(seed))
+
+
+@lru_cache(maxsize=8)
+def _synthetic_image_cached(size: int, seed: int) -> np.ndarray:
     if size < 16:
         raise ValueError("image size must be at least 16 pixels")
     rng = np.random.default_rng(seed)
@@ -49,7 +60,9 @@ def synthetic_image(size: int = 256, seed: int = 2017) -> np.ndarray:
         image += rng.uniform(2.0, 7.0) * np.sin(2.0 * np.pi * (fx * x + fy * y) + phase)
     image += rng.normal(0.0, 1.5, size=image.shape)
 
-    return np.clip(image, 0.0, 255.0).astype(np.uint8)
+    result = np.clip(image, 0.0, 255.0).astype(np.uint8)
+    result.setflags(write=False)
+    return result
 
 
 def synthetic_gradient(size: int = 64) -> np.ndarray:

@@ -7,6 +7,11 @@ then the decoder mirror (dequantisation, inverse DCT, level shift).  Only the
 *forward DCT* uses the approximate / data-sized operators — exactly the
 experiment of Figure 6 — so the quality difference between two runs isolates
 the arithmetic approximation.
+
+The encoder consumes one :class:`~repro.core.context.ApproxContext`; the
+coded-size estimate is evaluated for the whole image in one vectorised pass
+(:func:`estimate_coded_bits_blocks`), bit-identical to the per-block
+run-length reference kept for unit tests.
 """
 from __future__ import annotations
 
@@ -15,9 +20,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.datapath import OperationCounter, OperationCounts
+from ..core.context import ApproxContext
+from ..core.datapath import OperationCounts
 from ..metrics.image import mssim
-from ..operators.base import AdderOperator, MultiplierOperator
 from .dct import BLOCK_SIZE, FixedPointDCT
 from .images import pad_to_multiple
 
@@ -82,6 +87,24 @@ def estimate_coded_bits(pairs: List[Tuple[int, int]]) -> int:
     return bits
 
 
+def estimate_coded_bits_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Per-block coded-size estimates for a batch, in one vectorised pass.
+
+    Bit-identical to chaining :func:`run_length_encode` and
+    :func:`estimate_coded_bits` on each zig-zagged block: every nonzero
+    coefficient costs its run/size nibbles plus its magnitude bits, the
+    end-of-block marker costs one empty pair, and the scan order does not
+    change the total.
+    """
+    values = np.asarray(blocks, dtype=np.int64).reshape(len(blocks), -1)
+    magnitude = np.abs(values)
+    # bit_length via the base-2 exponent: |v| = m * 2**e with 0.5 <= m < 1,
+    # so e is exactly bit_length(|v|) for positive |v| (and 0 for zero).
+    bit_lengths = np.frexp(magnitude.astype(np.float64))[1]
+    nonzero = np.count_nonzero(magnitude, axis=1)
+    return 8 * (nonzero + 1) + bit_lengths.sum(axis=1)
+
+
 @dataclass(frozen=True)
 class JpegResult:
     """Outcome of one encode/decode round trip."""
@@ -96,22 +119,19 @@ class JpegResult:
 
 
 class JpegEncoder:
-    """Baseline JPEG model whose forward DCT uses swappable operators."""
+    """Baseline JPEG model whose forward DCT runs through an ApproxContext."""
 
     def __init__(self, quality: int = 90,
-                 adder: Optional[AdderOperator] = None,
-                 multiplier: Optional[MultiplierOperator] = None,
+                 context: Optional[ApproxContext] = None,
                  data_width: int = 16) -> None:
         self.quality = quality
         self.table = quality_scaled_table(quality)
-        self.dct = FixedPointDCT(data_width=data_width, adder=adder,
-                                 multiplier=multiplier)
-        self._zigzag = zigzag_order()
+        self.dct = FixedPointDCT(data_width=data_width, context=context)
+        self.context = self.dct.context
 
-    def encode_decode(self, image: np.ndarray,
-                      counter: Optional[OperationCounter] = None) -> JpegResult:
+    def encode_decode(self, image: np.ndarray) -> JpegResult:
         """Encode then decode an 8-bit grayscale image."""
-        counter = counter if counter is not None else OperationCounter()
+        start = self.context.counts
         padded = pad_to_multiple(np.asarray(image, dtype=np.float64), BLOCK_SIZE)
         rows, cols = padded.shape
         block_rows = rows // BLOCK_SIZE
@@ -122,14 +142,11 @@ class JpegEncoder:
         blocks = (padded.reshape(block_rows, BLOCK_SIZE, block_cols, BLOCK_SIZE)
                   .transpose(0, 2, 1, 3)
                   .reshape(-1, BLOCK_SIZE, BLOCK_SIZE)) - 128.0
-        codes = self.dct.forward(blocks.astype(np.int64), counter)
+        codes = self.dct.forward(blocks.astype(np.int64))
         coefficients = self.dct.to_float(codes)
         quantized = np.round(coefficients / self.table)
 
-        total_bits = 0
-        for block in quantized:
-            total_bits += estimate_coded_bits(
-                run_length_encode(block.ravel()[self._zigzag]))
+        total_bits = int(estimate_coded_bits_blocks(quantized).sum())
 
         dequantized = quantized * self.table
         restored = self.dct.inverse_float(dequantized) + 128.0
@@ -138,22 +155,25 @@ class JpegEncoder:
                          .reshape(rows, cols))
 
         cropped = np.clip(reconstructed[: image.shape[0], : image.shape[1]], 0, 255)
-        return JpegResult(reconstructed=cropped, counts=counter.snapshot(),
+        return JpegResult(reconstructed=cropped,
+                          counts=self.context.counts_since(start),
                           estimated_bits=total_bits)
 
 
 def jpeg_quality_score(image: np.ndarray, quality: int = 90,
-                       adder: Optional[AdderOperator] = None,
-                       multiplier: Optional[MultiplierOperator] = None
+                       context: Optional[ApproxContext] = None
                        ) -> Tuple[float, OperationCounts]:
     """MSSIM between the exact-DCT and approximate-DCT encoded images.
 
     This is exactly the quality axis of Figure 6: the exact fixed-point
-    encoder is the reference, the operator under test produces the distorted
+    encoder is the reference, the context under test produces the distorted
     version, and MSSIM measures how much of the structure survives.
     """
-    reference = JpegEncoder(quality=quality).encode_decode(image)
-    candidate = JpegEncoder(quality=quality, adder=adder,
-                            multiplier=multiplier).encode_decode(image)
+    candidate_context = context if context is not None else ApproxContext()
+    reference = JpegEncoder(
+        quality=quality,
+        context=candidate_context.exact_reference()).encode_decode(image)
+    candidate = JpegEncoder(quality=quality,
+                            context=candidate_context).encode_decode(image)
     score = mssim(reference.reconstructed, candidate.reconstructed)
     return score, candidate.counts

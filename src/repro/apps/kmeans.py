@@ -3,13 +3,16 @@
 The paper's last experiment: bidimensional Gaussian point clouds are
 clustered with Lloyd's algorithm, where the squared-Euclidean distance
 computation — the arithmetic core of the algorithm — runs through the
-data-sized or approximate operators.  The accuracy metric is the success
-rate, the proportion of points assigned to the same cluster as the exact
-fixed-point run (Tables V and VI).
+data-sized or approximate operators of an
+:class:`~repro.core.context.ApproxContext`.  The accuracy metric is the
+success rate, the proportion of points assigned to the same cluster as the
+exact fixed-point run (Tables V and VI).
 
 Coordinates are represented as Q1.15 codes in ``[-1, 1)``; the squared
 distances are accumulated on the 16-bit datapath after re-alignment, exactly
-like the other kernels.
+like the other kernels.  Centroid coordinates reach the context as scalar
+constants and the squaring passes the same array twice, which lets LUT
+backends serve both from one-dimensional tables.
 """
 from __future__ import annotations
 
@@ -18,12 +21,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..core.datapath import OperationCounter, OperationCounts
-from ..fxp.quantize import wrap_to_width
+from ..core.context import ApproxContext
+from ..core.datapath import OperationCounts
 from ..metrics.clustering import success_rate
-from ..operators.adders import ExactAdder
-from ..operators.base import AdderOperator, MultiplierOperator
-from ..operators.multipliers import TruncatedMultiplier
 
 
 @dataclass(frozen=True)
@@ -57,95 +57,97 @@ def generate_point_cloud(points_per_run: int = 5000, clusters: int = 10,
 
 
 class FixedPointKMeans:
-    """Lloyd's K-means whose distance computation uses swappable operators."""
+    """Lloyd's K-means whose distance computation runs through an ApproxContext."""
 
     def __init__(self, clusters: int = 10, data_width: int = 16,
-                 adder: Optional[AdderOperator] = None,
-                 multiplier: Optional[MultiplierOperator] = None,
+                 context: Optional[ApproxContext] = None,
                  iterations: int = 10) -> None:
+        if context is None:
+            context = ApproxContext(data_width=data_width)
+        elif context.data_width != data_width:
+            raise ValueError(
+                f"context word length ({context.data_width} bits) does not "
+                f"match the requested datapath ({data_width} bits)")
         self.clusters = clusters
-        self.data_width = data_width
-        self.frac_bits = data_width - 1
+        self.context = context
+        self.data_width = context.data_width
+        self.frac_bits = context.frac_bits
         self.iterations = iterations
-        self.adder = adder if adder is not None else ExactAdder(data_width)
-        self.multiplier = multiplier if multiplier is not None \
-            else TruncatedMultiplier(data_width, data_width)
+
+    @property
+    def adder(self):
+        """Adder model executing the distance accumulations."""
+        return self.context.adder
+
+    @property
+    def multiplier(self):
+        """Multiplier model executing the squarings."""
+        return self.context.multiplier
 
     # ------------------------------------------------------------------ #
     # Instrumented distance computation
     # ------------------------------------------------------------------ #
-    def _squared_distance(self, points: np.ndarray, center: np.ndarray,
-                          counter: OperationCounter) -> np.ndarray:
+    def _squared_distance(self, points: np.ndarray,
+                          center: np.ndarray) -> np.ndarray:
         """Instrumented squared Euclidean distance to one centroid."""
+        ctx = self.context
         count = points.shape[0]
         total = np.zeros(count, dtype=np.int64)
         for dim in range(points.shape[1]):
-            center_code = np.full(count, center[dim], dtype=np.int64)
-            negated = np.asarray(
-                wrap_to_width(-center_code, self.data_width), dtype=np.int64)
-            counter.count_additions(count)
-            delta = np.asarray(self.adder.aligned(points[:, dim], negated),
-                               dtype=np.int64)
-            counter.count_multiplications(count)
-            square = np.asarray(self.multiplier.aligned(delta, delta), dtype=np.int64)
+            delta = ctx.sub(points[:, dim], int(center[dim]))
+            square = ctx.mul(delta, delta)
             # Re-align the Q2.30 square onto the Q1.15 data grid; squared
             # deltas are small, so the halved dynamic keeps them in range.
-            term = square >> (self.frac_bits + 1)
-            term = np.asarray(wrap_to_width(term, self.data_width), dtype=np.int64)
-            counter.count_additions(count)
-            total = np.asarray(self.adder.aligned(total, term), dtype=np.int64)
+            term = ctx.wrap(square >> (self.frac_bits + 1))
+            total = ctx.add(total, term)
         return total
 
-    def assign(self, points: np.ndarray, centers: np.ndarray,
-               counter: Optional[OperationCounter] = None) -> np.ndarray:
+    def assign(self, points: np.ndarray, centers: np.ndarray) -> np.ndarray:
         """Assign every point to the centroid with the smallest distance."""
-        counter = counter if counter is not None else OperationCounter()
         distances = np.zeros((points.shape[0], centers.shape[0]), dtype=np.int64)
         for index in range(centers.shape[0]):
-            distances[:, index] = self._squared_distance(points, centers[index],
-                                                         counter)
+            distances[:, index] = self._squared_distance(points, centers[index])
         return np.argmin(distances, axis=1).astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Full clustering
     # ------------------------------------------------------------------ #
-    def fit(self, points: np.ndarray, initial_centers: np.ndarray,
-            counter: Optional[OperationCounter] = None
+    def fit(self, points: np.ndarray, initial_centers: np.ndarray
             ) -> Tuple[np.ndarray, np.ndarray, OperationCounts]:
         """Run Lloyd's iterations; returns (labels, centers, operation counts).
 
         Only the distance computation is instrumented — centroid updates are
         exact, as in the paper where the focus is the distance datapath.
         """
-        counter = counter if counter is not None else OperationCounter()
+        start = self.context.counts
         centers = np.asarray(initial_centers, dtype=np.int64).copy()
         labels = np.zeros(points.shape[0], dtype=np.int64)
         for _ in range(self.iterations):
-            labels = self.assign(points, centers, counter)
+            labels = self.assign(points, centers)
             for index in range(self.clusters):
                 members = points[labels == index]
                 if members.shape[0] > 0:
                     centers[index] = np.round(members.mean(axis=0)).astype(np.int64)
-        return labels, centers, counter.snapshot()
+        return labels, centers, self.context.counts_since(start)
 
 
 def kmeans_success_rate(cloud: PointCloud,
-                        adder: Optional[AdderOperator] = None,
-                        multiplier: Optional[MultiplierOperator] = None,
+                        context: Optional[ApproxContext] = None,
                         iterations: int = 10
                         ) -> Tuple[float, OperationCounts]:
     """Success rate of the approximate run against the exact fixed-point run.
 
-    Both runs start from the same initial centroids (the ground-truth
-    centres perturbed is not needed — the generating centres are a natural
-    common starting point), so the only difference is the arithmetic of the
-    distance computation.
+    Both runs start from the same initial centroids (the generating centres
+    are a natural common starting point), so the only difference is the
+    arithmetic of the distance computation.
     """
+    candidate_context = context if context is not None else ApproxContext()
     clusters = cloud.centers.shape[0]
-    exact = FixedPointKMeans(clusters=clusters, iterations=iterations)
+    exact = FixedPointKMeans(clusters=clusters, iterations=iterations,
+                             context=candidate_context.exact_reference())
     reference_labels, _, _ = exact.fit(cloud.points, cloud.centers)
 
-    candidate = FixedPointKMeans(clusters=clusters, adder=adder,
-                                 multiplier=multiplier, iterations=iterations)
+    candidate = FixedPointKMeans(clusters=clusters, iterations=iterations,
+                                 context=candidate_context)
     labels, _, counts = candidate.fit(cloud.points, cloud.centers)
     return success_rate(reference_labels, labels, clusters=clusters), counts

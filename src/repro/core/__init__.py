@@ -1,6 +1,20 @@
 """APXPERF core: registry, characterisation, exploration, datapath energy,
-and the fluent :class:`Study` pipeline tying them together."""
+the :class:`ApproxContext` / execution-backend layer consumed by the
+application kernels, and the fluent :class:`Study` pipeline tying them
+together."""
+from .backends import (
+    DirectBackend,
+    ExecutionBackend,
+    LutBackend,
+    clear_table_cache,
+    create_backend,
+    parse_backend,
+    register_backend,
+    registered_backends,
+    table_cache_size,
+)
 from .characterization import Apxperf, OperatorCharacterization
+from .context import ApproxContext
 from .datapath import (
     DatapathEnergyBreakdown,
     DatapathEnergyModel,
@@ -41,6 +55,16 @@ from .results import ExperimentResult, ResultBundle
 from .study import Study, SweepOutcome  # noqa: E402  (import order is load-bearing)
 
 __all__ = [
+    "ApproxContext",
+    "ExecutionBackend",
+    "DirectBackend",
+    "LutBackend",
+    "register_backend",
+    "registered_backends",
+    "create_backend",
+    "parse_backend",
+    "clear_table_cache",
+    "table_cache_size",
     "Apxperf",
     "OperatorCharacterization",
     "OperationCounts",

@@ -1,0 +1,368 @@
+"""Pluggable execution backends: how operator calls are actually evaluated.
+
+Application kernels never call :meth:`Operator.aligned` directly any more —
+they go through an :class:`~repro.core.context.ApproxContext`, which hands
+every addition and multiplication to an :class:`ExecutionBackend`.  Two
+backends ship with the framework:
+
+* ``"direct"`` — :class:`DirectBackend`, the bit-exact reference: each call
+  evaluates the operator's functional model (exactly what the seed kernels
+  did).
+* ``"lut"`` — :class:`LutBackend`, which precomputes truth tables once per
+  operator (keyed by the operator name, which embeds its parameters) and
+  turns the hot per-butterfly / per-pixel operator calls into single
+  fancy-index gathers.  Results are bit-identical to ``"direct"`` — when no
+  table strategy applies to a call, it transparently falls back to the
+  functional model.
+
+The LUT backend picks the cheapest applicable table per call:
+
+1. **Sum tables** for operators with :attr:`Operator.sum_addressable`
+   (the data-sized adders): one eagerly-built 1-D table indexed by the
+   exact operand sum covers every call, whatever the operand arrays.
+2. **Pair tables** for small operators (``input_width <= max_pair_width``):
+   the full 2-D truth table, flattened so one gather evaluates any
+   operand-pair array.
+3. **Constant-operand tables** when one operand is a scalar (DCT cosine
+   coefficients, FFT twiddles, HEVC filter taps, K-means centroids): a 1-D
+   table over the variable operand, filled *lazily* with only the values
+   actually observed so expensive approximate operators never evaluate more
+   stimulus than the data contains.
+4. **Square tables** when both operands are the same array (the K-means
+   squared distances): a lazily-filled diagonal table.
+
+Tables are cached process-wide (mirroring how the Study's hardware
+characterisation cache shares synthesis results across sweep points): two
+sweep points, two frames, or two studies that use an operator of the same
+name share one table.
+
+Backends are registered by short spec strings, mirroring
+``repro/workloads/registry.py``::
+
+    from repro.core.backends import parse_backend, register_backend
+
+    backend = parse_backend("lut")                  # or "lut(max_pair_width=8)"
+    register_backend("numba", NumbaBackend)         # downstream plug-in
+"""
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..operators.base import Operator
+from .registry import parse_spec
+
+
+class ExecutionBackend(ABC):
+    """Strategy object evaluating one operator call on behalf of a context.
+
+    ``execute`` must return the *aligned* result (reference-grid ``int64``
+    codes, exactly :meth:`Operator.aligned`) for the broadcast of ``a`` and
+    ``b``; implementations are required to be bit-identical to
+    :class:`DirectBackend` for every operator and stimulus.
+    """
+
+    #: Registry name, also used in result metadata.
+    name: str = "backend"
+
+    @abstractmethod
+    def execute(self, operator: Operator, a: np.ndarray,
+                b: np.ndarray) -> np.ndarray:
+        """Aligned result of ``operator`` over ``a`` and ``b`` (broadcast)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.__class__.__name__} {self.name}>"
+
+
+class DirectBackend(ExecutionBackend):
+    """Bit-exact reference backend: every call runs the functional model."""
+
+    name = "direct"
+
+    def execute(self, operator: Operator, a: np.ndarray,
+                b: np.ndarray) -> np.ndarray:
+        return np.asarray(operator.aligned(a, b), dtype=np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# LUT backend
+# --------------------------------------------------------------------------- #
+#: Process-wide table cache, shared by every LutBackend instance (and thus by
+#: every sweep point of a study): operator names embed their parameters, so a
+#: table is a pure function of its key.  Bounded like the JPEG reference
+#: cache: when the cache grows past the cap it is cleared wholesale.
+_TABLE_CACHE: Dict[Tuple[object, ...], object] = {}
+_MAX_CACHED_TABLES = 128
+
+#: Lazily-filled value tables are populated in chunks of ``2**shift`` entries
+#: around each missed value (see :meth:`LutBackend._value_lookup`).
+_VALUE_CHUNK_SHIFT = 10
+
+
+#: Value-table keys seen exactly once.  A table is only opened when the same
+#: (operator, side, constant) recurs: recurring constants (DCT coefficients,
+#: twiddles, filter taps) amortise their table, while one-shot constants
+#: (K-means centroids, which change every Lloyd iteration) would build a
+#: 2**N-entry table for a single gather and stay on the functional model.
+_PENDING_VALUE_KEYS: set = set()
+_MAX_PENDING_KEYS = 4096
+
+
+def clear_table_cache() -> None:
+    """Drop every cached LUT table (mainly for tests and benchmarks)."""
+    _TABLE_CACHE.clear()
+    _PENDING_VALUE_KEYS.clear()
+
+
+def table_cache_size() -> int:
+    """Number of tables currently cached process-wide."""
+    return len(_TABLE_CACHE)
+
+
+def _cache_insert(key: Tuple[object, ...], value: object) -> object:
+    if len(_TABLE_CACHE) >= _MAX_CACHED_TABLES:
+        # Evict oldest-inserted value tables first; the handful of sum/pair
+        # tables are shared by every caller of their operator and stay hot.
+        for candidate in list(_TABLE_CACHE):
+            if candidate[0] == "value":
+                del _TABLE_CACHE[candidate]
+                if len(_TABLE_CACHE) < _MAX_CACHED_TABLES:
+                    break
+        else:
+            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+    _TABLE_CACHE[key] = value
+    return value
+
+
+class LutBackend(ExecutionBackend):
+    """Vectorised lookup-table backend, bit-identical to ``"direct"``.
+
+    Parameters
+    ----------
+    max_pair_width:
+        Largest operand width for which the full 2-D truth table is built
+        (``4**N`` entries — the default of 10 bits caps one table at 8 MiB).
+    max_value_width:
+        Largest operand width for which the 1-D strategies (sum, constant,
+        square tables, ``2**N``-ish entries) are used.  16 covers the
+        paper's whole datapath.
+    min_value_size:
+        Smallest operand array for which a *new* constant/square table is
+        opened.  Tiny calls (late FFT stages) cost less through the
+        functional model than through the lazy-fill machinery; once a table
+        exists, calls of any size gather from it.
+    """
+
+    name = "lut"
+
+    def __init__(self, max_pair_width: int = 10,
+                 max_value_width: int = 16,
+                 min_value_size: int = 256) -> None:
+        if max_pair_width < 2:
+            raise ValueError("max_pair_width must be at least 2")
+        if max_value_width < 2:
+            raise ValueError("max_value_width must be at least 2")
+        self.max_pair_width = int(max_pair_width)
+        self.max_value_width = int(max_value_width)
+        self.min_value_size = int(min_value_size)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def execute(self, operator: Operator, a: np.ndarray,
+                b: np.ndarray) -> np.ndarray:
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        if a_arr.ndim == 0 and b_arr.ndim == 0:
+            return np.asarray(operator.aligned(a_arr, b_arr), dtype=np.int64)
+
+        out: Optional[np.ndarray] = None
+        if operator.sum_addressable \
+                and operator.input_width <= self.max_value_width:
+            out = self._sum_lookup(operator, a_arr, b_arr)
+        elif operator.input_width <= self.max_pair_width:
+            out = self._pair_lookup(operator, a_arr, b_arr)
+        elif operator.input_width <= self.max_value_width:
+            if b_arr.ndim == 0:
+                out = self._value_lookup(operator, a_arr, int(b_arr), "right")
+            elif a_arr.ndim == 0:
+                out = self._value_lookup(operator, b_arr, int(a_arr), "left")
+            elif a is b:
+                out = self._value_lookup(operator, a_arr, None, "square")
+        if out is not None:
+            return out
+        # No table strategy applies (wide operator, general operands, or
+        # out-of-range stimulus): the functional model is the answer.
+        return np.asarray(operator.aligned(a_arr, b_arr), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Strategies
+    # ------------------------------------------------------------------ #
+    def _sum_lookup(self, operator: Operator, a: np.ndarray,
+                    b: np.ndarray) -> Optional[np.ndarray]:
+        """Eager 1-D table indexed by the exact operand sum, modulo ``2**N``.
+
+        A sum-addressable operator computes a pure function of the *wrapped*
+        sum, which is periodic in ``a + b`` with period ``2**N`` — so one
+        table over a single period plus modular indexing covers every int64
+        operand sum with no bounds checks at all.
+        """
+        key = ("sum", operator.family, operator.name)
+        table = _TABLE_CACHE.get(key)
+        if table is None:
+            period = np.arange(1 << operator.input_width, dtype=np.int64)
+            # Valid exactly because sum_addressable: compute(a, b) is a pure
+            # function of wrap(a + b), so compute(s, 0) tabulates residue s.
+            table = _cache_insert(
+                key, np.asarray(operator.aligned(period, np.int64(0)),
+                                dtype=np.int64))
+        return np.take(table, a + b, mode="wrap")
+
+    def _pair_lookup(self, operator: Operator, a: np.ndarray,
+                     b: np.ndarray) -> Optional[np.ndarray]:
+        """Eager full truth table, flattened row-major over (a, b)."""
+        lo, hi = operator.input_range()
+        for operand in (a, b):
+            if operand.size and (int(operand.min()) < lo or int(operand.max()) > hi):
+                return None
+        key = ("pair", operator.family, operator.name)
+        table = _TABLE_CACHE.get(key)
+        if table is None:
+            all_a, all_b = operator.exhaustive_inputs()
+            table = _cache_insert(
+                key, np.asarray(operator.aligned(all_a, all_b), dtype=np.int64))
+        span = hi - lo + 1
+        return table[(a - lo) * span + (b - lo)]
+
+    def _value_lookup(self, operator: Operator, values: np.ndarray,
+                      constant: Optional[int], side: str
+                      ) -> Optional[np.ndarray]:
+        """Lazily-filled 1-D table over one variable operand.
+
+        ``side`` is ``"right"`` / ``"left"`` for a constant second / first
+        operand, or ``"square"`` when both operands are the same array (the
+        constant is then ignored).  Only the values actually observed are
+        ever evaluated through the functional model, so expensive
+        approximate operators never see more stimulus than the data holds.
+        """
+        lo, hi = operator.input_range()
+        if values.size == 0:
+            return np.asarray(operator.aligned(values, values), dtype=np.int64)
+        if int(values.min()) < lo or int(values.max()) > hi:
+            return None
+        key = ("value", operator.family, operator.name, side, constant)
+        entry = _TABLE_CACHE.get(key)
+        if entry is None:
+            if values.size < self.min_value_size:
+                return None
+            if key not in _PENDING_VALUE_KEYS:
+                # First sighting of this constant: stay on the functional
+                # model; only a recurring constant earns a table.
+                if len(_PENDING_VALUE_KEYS) >= _MAX_PENDING_KEYS:
+                    _PENDING_VALUE_KEYS.clear()
+                _PENDING_VALUE_KEYS.add(key)
+                return None
+            _PENDING_VALUE_KEYS.discard(key)
+            entry = _cache_insert(
+                key, (np.zeros(hi - lo + 1, dtype=np.int64),
+                      np.zeros(hi - lo + 1, dtype=bool), [0]))
+        table, filled, miss_events = entry
+        index = values - lo
+        missing = ~filled[index]
+        if missing.any():
+            miss_events[0] += 1
+            if miss_events[0] < 2:
+                # First fill: only the observed values — no dearer than one
+                # functional evaluation, which is all a table that is never
+                # missed again (a stable K-means centroid) will ever need.
+                fresh_index = np.unique(index[missing])
+            else:
+                # A table that keeps missing is hot with a drifting operand
+                # domain (DCT intermediates): fill whole chunks around the
+                # missed values, because the per-event overhead of invoking
+                # an approximate operator's bit-level model dwarfs the extra
+                # elements per fill, and clustered operands make the
+                # pre-filled neighbourhood pay off.
+                chunks = np.unique(index[missing] >> _VALUE_CHUNK_SHIFT)
+                span = filled.shape[0]
+                fresh_index = np.concatenate([
+                    np.arange(chunk << _VALUE_CHUNK_SHIFT,
+                              min((chunk + 1) << _VALUE_CHUNK_SHIFT, span))
+                    for chunk in chunks])
+                fresh_index = fresh_index[~filled[fresh_index]]
+            fresh = fresh_index + lo
+            if side == "square":
+                results = operator.aligned(fresh, fresh)
+            elif side == "right":
+                partner = np.full(fresh.shape, constant, dtype=np.int64)
+                results = operator.aligned(fresh, partner)
+            else:
+                partner = np.full(fresh.shape, constant, dtype=np.int64)
+                results = operator.aligned(partner, fresh)
+            table[fresh_index] = np.asarray(results, dtype=np.int64)
+            filled[fresh_index] = True
+        return table[index]
+
+
+# --------------------------------------------------------------------------- #
+# Registry (mirrors repro/workloads/registry.py)
+# --------------------------------------------------------------------------- #
+BackendFactory = Callable[..., ExecutionBackend]
+BackendLike = Union[str, ExecutionBackend, None]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register (or override) a backend factory under a short name."""
+    if not name:
+        raise ValueError("backend name must be a non-empty string")
+    _REGISTRY[name.lower()] = factory
+
+
+def registered_backends() -> List[str]:
+    """Sorted list of known backend names."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, *args: object, **kwargs: object) -> ExecutionBackend:
+    """Instantiate a backend from its registry name and parameters."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown backend {name!r}; "
+                       f"known: {', '.join(registered_backends())}")
+    return _REGISTRY[key](*args, **kwargs)
+
+
+def parse_backend(spec: BackendLike) -> ExecutionBackend:
+    """Resolve a backend from a spec string, an instance, or ``None``.
+
+    ``None`` selects the bit-exact ``"direct"`` reference.  Spec strings
+    follow the operator/workload notation, e.g. ``"lut"`` or
+    ``"lut(max_pair_width=8)"``.
+    """
+    if spec is None:
+        return DirectBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    name, args, kwargs = parse_spec(spec)
+    try:
+        return create_backend(name, *args, **kwargs)
+    except TypeError as exc:
+        raise ValueError(f"invalid arguments for backend {name!r} in "
+                         f"specification {spec!r}: {exc}") from exc
+
+
+def backend_spec(backend: BackendLike) -> str:
+    """Short printable spec of a backend selection (for result metadata)."""
+    if backend is None:
+        return "direct"
+    if isinstance(backend, ExecutionBackend):
+        return backend.name
+    return str(backend)
+
+
+register_backend("direct", DirectBackend)
+register_backend("lut", LutBackend)

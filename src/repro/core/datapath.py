@@ -35,6 +35,11 @@ class OperationCounts:
         return OperationCounts(self.additions + other.additions,
                                self.multiplications + other.multiplications)
 
+    def __sub__(self, other: "OperationCounts") -> "OperationCounts":
+        """Delta between two snapshots of one (possibly shared) counter."""
+        return OperationCounts(self.additions - other.additions,
+                               self.multiplications - other.multiplications)
+
     def scaled(self, factor: int) -> "OperationCounts":
         return OperationCounts(self.additions * factor,
                                self.multiplications * factor)

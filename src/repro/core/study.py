@@ -31,6 +31,7 @@ from ..operators.adders import ExactAdder
 from ..operators.base import AdderOperator, MultiplierOperator, Operator
 from ..workloads.base import OperatorMap, Workload, WorkloadResult
 from ..workloads.registry import parse_workload
+from .backends import BackendLike, backend_spec
 from .datapath import (
     DatapathEnergyBreakdown,
     DatapathEnergyModel,
@@ -98,6 +99,7 @@ class Study:
         self._axis: str = "operator"
         self._pair: Optional[OperatorLike] = None
         self._pair_injected = False
+        self._backend: BackendLike = "direct"
         self._energy_model: Optional[DatapathEnergyModel] = None
         self._seed: Optional[int] = None
         self._constant_coefficient = False
@@ -156,6 +158,19 @@ class Study:
         """
         self._pair = operator
         self._pair_injected = inject
+        return self
+
+    def backend(self, backend: BackendLike) -> "Study":
+        """Select the execution backend of every sweep point.
+
+        ``"direct"`` (the default) evaluates each operator call through its
+        functional model; ``"lut"`` serves the hot calls from precomputed
+        truth tables (bit-identical records, substantially faster for
+        application sweeps).  Spec strings accept parameters, e.g.
+        ``"lut(max_pair_width=8)"``, and registered
+        :class:`~repro.core.backends.ExecutionBackend` instances also work.
+        """
+        self._backend = backend
         return self
 
     def energy(self, model: Optional[DatapathEnergyModel] = None) -> "Study":
@@ -222,7 +237,8 @@ class Study:
             columns=list(self._columns) if self._columns is not None else [],
             metadata=self._metadata if self._metadata is not None
             else {"workload": workload.name, "seed": seed,
-                  "sweep_points": len(points)},
+                  "sweep_points": len(points),
+                  "backend": backend_spec(self._backend)},
         )
         build_row = self._row_builder or _default_row
         for index, ((operator_map, adder, multiplier), outcome) \
@@ -278,7 +294,8 @@ class Study:
             multiplier = pair if pair is not None else minimal_multiplier_for(swept)
             functional = OperatorMap(
                 swept=swept, adder=swept,
-                multiplier=multiplier if self._pair_injected else None)
+                multiplier=multiplier if self._pair_injected else None,
+                backend=self._backend)
             return functional, swept, multiplier
         if axis == "multiplier":
             if not isinstance(swept, MultiplierOperator):
@@ -287,9 +304,10 @@ class Study:
             adder = pair if pair is not None else ExactAdder(swept.input_width)
             functional = OperatorMap(
                 swept=swept, multiplier=swept,
-                adder=adder if self._pair_injected else None)
+                adder=adder if self._pair_injected else None,
+                backend=self._backend)
             return functional, adder, swept
-        return OperatorMap(swept=swept), None, None
+        return OperatorMap(swept=swept, backend=self._backend), None, None
 
     @staticmethod
     def _execute(tasks: List[Tuple[Workload, OperatorMap, Dict[str, object], int]],

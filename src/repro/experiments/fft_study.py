@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
 from ..core.exploration import (
     sweep_aca_adders,
@@ -54,7 +55,8 @@ def fft_adder_sweep(size: int = 32, input_width: int = 16,
                     adders: Optional[Sequence[AdderOperator]] = None,
                     frames: int = 8, reduced: bool = False,
                     energy_model: Optional[DatapathEnergyModel] = None,
-                    workers: int = 1) -> ExperimentResult:
+                    workers: int = 1,
+                    backend: BackendLike = "direct") -> ExperimentResult:
     """Regenerate Figure 5 (PDP of FFT-32 versus output PSNR, adders swept)."""
     if adders is None:
         adders = default_fft_adder_sweep(input_width, reduced=reduced)
@@ -72,6 +74,7 @@ def fft_adder_sweep(size: int = 32, input_width: int = 16,
     return (Study()
             .workload("fft", size=size, data_width=input_width, frames=frames)
             .adders(adders)
+            .backend(backend)
             .energy(energy_model)
             .experiment(
                 "fig5_fft_adders",
@@ -89,7 +92,8 @@ def fft_multiplier_comparison(size: int = 32, input_width: int = 16,
                               multipliers: Optional[Sequence[MultiplierOperator]] = None,
                               frames: int = 8,
                               energy_model: Optional[DatapathEnergyModel] = None,
-                              workers: int = 1) -> ExperimentResult:
+                              workers: int = 1,
+                              backend: BackendLike = "direct") -> ExperimentResult:
     """Regenerate Table II (FFT-32 accuracy/energy with fixed-width multipliers)."""
     if multipliers is None:
         multipliers = [TruncatedMultiplier(input_width, input_width),
@@ -108,6 +112,7 @@ def fft_multiplier_comparison(size: int = 32, input_width: int = 16,
             .workload("fft", size=size, data_width=input_width, frames=frames)
             .multipliers(multipliers)
             .pair_with(ExactAdder(input_width))
+            .backend(backend)
             .energy(energy_model)
             .experiment(
                 "table2_fft_multipliers",

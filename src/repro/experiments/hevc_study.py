@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..apps.images import synthetic_image
+from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
 from ..core.results import ExperimentResult
 from ..core.study import Study, SweepOutcome
@@ -50,7 +51,8 @@ TABLE4_MULTIPLIERS = (
 def hevc_adder_table(image: Optional[np.ndarray] = None, image_size: int = 128,
                      adders: Sequence[AdderOperator] = TABLE3_ADDERS,
                      energy_model: Optional[DatapathEnergyModel] = None,
-                     workers: int = 1) -> ExperimentResult:
+                     workers: int = 1,
+                     backend: BackendLike = "direct") -> ExperimentResult:
     """Regenerate Table III (MC filter with approximate / data-sized adders)."""
     if image is None:
         image = synthetic_image(image_size)
@@ -68,6 +70,7 @@ def hevc_adder_table(image: Optional[np.ndarray] = None, image_size: int = 128,
     return (Study()
             .workload("hevc", image=image)
             .adders(adders)
+            .backend(backend)
             .energy(energy_model)
             .constant_coefficient()
             .experiment(
@@ -85,7 +88,8 @@ def hevc_adder_table(image: Optional[np.ndarray] = None, image_size: int = 128,
 def hevc_multiplier_table(image: Optional[np.ndarray] = None, image_size: int = 128,
                           multipliers: Sequence[MultiplierOperator] = TABLE4_MULTIPLIERS,
                           energy_model: Optional[DatapathEnergyModel] = None,
-                          workers: int = 1) -> ExperimentResult:
+                          workers: int = 1,
+                          backend: BackendLike = "direct") -> ExperimentResult:
     """Regenerate Table IV (MC filter with fixed-width multipliers swapped)."""
     if image is None:
         image = synthetic_image(image_size)
@@ -103,6 +107,7 @@ def hevc_multiplier_table(image: Optional[np.ndarray] = None, image_size: int = 
     return (Study()
             .workload("hevc", image=image)
             .multipliers(multipliers)
+            .backend(backend)
             .energy(energy_model)
             .experiment(
                 "table4_hevc_multipliers",

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..apps.images import synthetic_image
+from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
 from ..core.exploration import (
     sweep_aca_adders,
@@ -55,7 +56,8 @@ def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
                      adders: Optional[Sequence[AdderOperator]] = None,
                      image_size: int = 128, reduced: bool = False,
                      energy_model: Optional[DatapathEnergyModel] = None,
-                     workers: int = 1) -> ExperimentResult:
+                     workers: int = 1,
+                     backend: BackendLike = "direct") -> ExperimentResult:
     """Regenerate Figure 6 (DCT energy versus JPEG MSSIM, adders swept)."""
     if image is None:
         image = synthetic_image(image_size)
@@ -75,6 +77,7 @@ def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
     return (Study()
             .workload("jpeg", quality=quality, image=image)
             .adders(adders)
+            .backend(backend)
             .energy(energy_model)
             .experiment(
                 "fig6_jpeg",

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..apps.kmeans import PointCloud, generate_point_cloud
+from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
 from ..core.results import ExperimentResult
 from ..core.study import Study, SweepOutcome
@@ -60,7 +61,8 @@ def kmeans_adder_table(clouds: Optional[Sequence[PointCloud]] = None,
                        runs: int = 3, points_per_run: int = 2000,
                        iterations: int = 8,
                        energy_model: Optional[DatapathEnergyModel] = None,
-                       workers: int = 1) -> ExperimentResult:
+                       workers: int = 1,
+                       backend: BackendLike = "direct") -> ExperimentResult:
     """Regenerate Table V (distance computation with the adders swapped)."""
     if clouds is None:
         clouds = default_point_clouds(runs, points_per_run)
@@ -78,6 +80,7 @@ def kmeans_adder_table(clouds: Optional[Sequence[PointCloud]] = None,
     return (Study()
             .workload("kmeans", clouds=tuple(clouds), iterations=iterations)
             .adders(adders)
+            .backend(backend)
             .energy(energy_model)
             .experiment(
                 "table5_kmeans_adders",
@@ -97,7 +100,8 @@ def kmeans_multiplier_table(clouds: Optional[Sequence[PointCloud]] = None,
                             runs: int = 3, points_per_run: int = 2000,
                             iterations: int = 8,
                             energy_model: Optional[DatapathEnergyModel] = None,
-                            workers: int = 1) -> ExperimentResult:
+                            workers: int = 1,
+                            backend: BackendLike = "direct") -> ExperimentResult:
     """Regenerate Table VI (distance computation with the multipliers swapped)."""
     if clouds is None:
         clouds = default_point_clouds(runs, points_per_run)
@@ -115,6 +119,7 @@ def kmeans_multiplier_table(clouds: Optional[Sequence[PointCloud]] = None,
     return (Study()
             .workload("kmeans", clouds=tuple(clouds), iterations=iterations)
             .multipliers(multipliers)
+            .backend(backend)
             .energy(energy_model)
             .experiment(
                 "table6_kmeans_multipliers",

@@ -17,6 +17,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional, Union
 
+from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
 from ..core.results import ResultBundle
 from .ablations import multiplier_compensation_ablation, rounding_mode_ablation
@@ -29,7 +30,8 @@ from .multipliers_study import multiplier_comparison
 
 
 def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
-            include_ablations: bool = True, workers: int = 1) -> ResultBundle:
+            include_ablations: bool = True, workers: int = 1,
+            backend: BackendLike = "direct") -> ResultBundle:
     """Regenerate every table and figure of the paper.
 
     ``reduced=True`` (default) runs the laptop-scale configuration: thinner
@@ -37,7 +39,9 @@ def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
     the full sweeps, which takes substantially longer but follows the paper's
     configuration as closely as the substituted substrate allows.
     ``workers`` fans each sweep's functional simulations out over a process
-    pool; results are identical to the serial run.
+    pool; results are identical to the serial run.  ``backend`` selects the
+    execution backend of every application-level sweep (``"direct"`` or
+    ``"lut"``); records are bit-identical across backends.
     """
     bundle = ResultBundle()
     energy_model = DatapathEnergyModel()
@@ -52,23 +56,26 @@ def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
     bundle.add(multiplier_comparison(error_samples=error_samples,
                                      workers=workers))
     bundle.add(fft_adder_sweep(reduced=reduced, energy_model=energy_model,
-                               frames=4 if reduced else 16, workers=workers))
+                               frames=4 if reduced else 16, workers=workers,
+                               backend=backend))
     bundle.add(fft_multiplier_comparison(energy_model=energy_model,
                                          frames=4 if reduced else 16,
-                                         workers=workers))
+                                         workers=workers, backend=backend))
     bundle.add(jpeg_adder_sweep(image_size=image_size, reduced=reduced,
-                                energy_model=energy_model, workers=workers))
+                                energy_model=energy_model, workers=workers,
+                                backend=backend))
     bundle.add(hevc_adder_table(image_size=image_size, energy_model=energy_model,
-                                workers=workers))
+                                workers=workers, backend=backend))
     bundle.add(hevc_multiplier_table(image_size=image_size,
                                      energy_model=energy_model,
-                                     workers=workers))
+                                     workers=workers, backend=backend))
     bundle.add(kmeans_adder_table(runs=kmeans_runs, points_per_run=kmeans_points,
-                                  energy_model=energy_model, workers=workers))
+                                  energy_model=energy_model, workers=workers,
+                                  backend=backend))
     bundle.add(kmeans_multiplier_table(runs=kmeans_runs,
                                        points_per_run=kmeans_points,
                                        energy_model=energy_model,
-                                       workers=workers))
+                                       workers=workers, backend=backend))
     if include_ablations:
         bundle.add(multiplier_compensation_ablation(error_samples=error_samples,
                                                     workers=workers))

@@ -26,20 +26,34 @@ def gaussian_window(size: int = 11, sigma: float = 1.5) -> np.ndarray:
     return window / np.sum(window)
 
 
-def _filter2_valid(image: np.ndarray, window: np.ndarray) -> np.ndarray:
-    """2-D correlation with 'valid' boundary handling (no padding bias)."""
-    size = window.shape[0]
-    rows = image.shape[0] - size + 1
-    cols = image.shape[1] - size + 1
-    if rows <= 0 or cols <= 0:
+def _filter1_valid(image: np.ndarray, weights: np.ndarray,
+                   axis: int) -> np.ndarray:
+    """1-D correlation along one axis with 'valid' boundary handling."""
+    size = weights.shape[0]
+    span = image.shape[axis] - size + 1
+    if span <= 0:
         raise ValueError("image smaller than the SSIM window")
-    # Accumulate shifted copies; cheaper than an explicit double loop over
-    # output pixels and keeps everything in vectorised NumPy.
-    result = np.zeros((rows, cols), dtype=np.float64)
-    for i in range(size):
-        for j in range(size):
-            result += window[i, j] * image[i:i + rows, j:j + cols]
+    if axis == 0:
+        result = weights[0] * image[0:span, :]
+        for i in range(1, size):
+            result += weights[i] * image[i:i + span, :]
+    else:
+        result = weights[0] * image[:, 0:span]
+        for i in range(1, size):
+            result += weights[i] * image[:, i:i + span]
     return result
+
+
+def _filter2_valid(image: np.ndarray, window: np.ndarray) -> np.ndarray:
+    """2-D correlation with 'valid' boundary handling (no padding bias).
+
+    The SSIM window is a normalised outer product of one 1-D Gaussian with
+    itself, so the correlation runs as two separable 1-D passes (22 shifted
+    accumulations instead of 121 for the 11x11 window).
+    """
+    weights = np.sqrt(np.diag(window))
+    return _filter1_valid(_filter1_valid(image, weights, axis=0),
+                          weights, axis=1)
 
 
 @dataclass(frozen=True)

@@ -23,11 +23,21 @@ comparable, exactly as APXPERF does.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..fxp.quantize import restore_lsbs, wrap_to_width
+
+#: Seed of the generator used when no rng is supplied to stimulus helpers.
+#: A fixed default keeps *every* characterisation reproducible end-to-end
+#: (the Study pipeline routes its own seed through explicitly).
+DEFAULT_STIMULUS_SEED = 2017
+
+#: Widths above this would enumerate more than ~4^13 (67M) operand pairs;
+#: :meth:`Operator.exhaustive_inputs` refuses instead of attempting the
+#: allocation.
+MAX_EXHAUSTIVE_WIDTH = 13
 
 
 class Operator(ABC):
@@ -35,6 +45,15 @@ class Operator(ABC):
 
     #: Operator family, either ``"adder"`` or ``"multiplier"``.
     family: str = "generic"
+
+    #: True when ``compute(a, b)`` depends on the operands only through their
+    #: exact integer sum ``a + b``.  Execution backends may then evaluate the
+    #: operator through a one-dimensional table indexed by the sum (see
+    #: :class:`repro.core.backends.LutBackend`); the data-sized adders qualify
+    #: because they quantise the wrapped accurate sum, while functionally
+    #: approximate adders (ACA, ETAII, ...) inspect individual operand bits
+    #: and do not.
+    sum_addressable: bool = False
 
     # ------------------------------------------------------------------ #
     # Interface
@@ -116,18 +135,38 @@ class Operator(ABC):
         return -(1 << (width - 1)), (1 << (width - 1)) - 1
 
     def random_inputs(self, count: int,
-                      rng: Optional[np.random.Generator] = None,
+                      rng: Optional[Union[np.random.Generator, int]] = None,
                       ) -> Tuple[np.ndarray, np.ndarray]:
-        """Uniform random operand pairs, as used by APXPERF's characterisation."""
+        """Uniform random operand pairs, as used by APXPERF's characterisation.
+
+        ``rng`` may be a generator, an integer seed, or ``None`` — the latter
+        selects a generator seeded with :data:`DEFAULT_STIMULUS_SEED` so that
+        two characterisation runs without an explicit rng still draw the same
+        stimulus (an unseeded default would silently break end-to-end
+        reproducibility).
+        """
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng(DEFAULT_STIMULUS_SEED)
+        elif isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
         lo, hi = self.input_range()
         a = rng.integers(lo, hi + 1, size=count, dtype=np.int64)
         b = rng.integers(lo, hi + 1, size=count, dtype=np.int64)
         return a, b
 
     def exhaustive_inputs(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Every operand pair (only sensible for small widths, used in tests)."""
+        """Every operand pair (only sensible for small widths, used in tests).
+
+        Raises :class:`ValueError` above :data:`MAX_EXHAUSTIVE_WIDTH` bits
+        instead of attempting the ``4**N``-element meshgrid allocation.
+        """
+        width = self.input_width
+        if width > MAX_EXHAUSTIVE_WIDTH:
+            raise ValueError(
+                f"exhaustive enumeration of {self.name} would materialise "
+                f"{4 ** width:,} operand pairs ({width}-bit operands); only "
+                f"widths up to {MAX_EXHAUSTIVE_WIDTH} bits are enumerable — "
+                f"use random_inputs for wider operators")
         lo, hi = self.input_range()
         values = np.arange(lo, hi + 1, dtype=np.int64)
         a, b = np.meshgrid(values, values, indexing="ij")

@@ -28,23 +28,36 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from ..core.datapath import OperationCounts
+from ..core.backends import BackendLike
+from ..core.context import ApproxContext
+from ..core.datapath import OperationCounter, OperationCounts
 from ..operators.base import AdderOperator, MultiplierOperator, Operator
 
 
 @dataclass(frozen=True)
 class OperatorMap:
-    """The operators a sweep point injects into a workload.
+    """The operators (and execution backend) a sweep point injects.
 
     ``swept`` is the operator under test; ``adder`` / ``multiplier`` are the
     slots the application kernels consume (``None`` means the workload's own
     exact default, matching the paper's setup where only one operator family
-    is swapped at a time).
+    is swapped at a time).  ``backend`` selects how the kernels evaluate
+    operator calls — a registry spec such as ``"lut"`` or an
+    :class:`~repro.core.backends.ExecutionBackend` instance; results are
+    required to be bit-identical across backends.
     """
 
     swept: Operator
     adder: Optional[AdderOperator] = None
     multiplier: Optional[MultiplierOperator] = None
+    backend: BackendLike = "direct"
+
+    def context(self, data_width: int = 16,
+                counter: Optional[OperationCounter] = None) -> ApproxContext:
+        """Build the :class:`ApproxContext` the application kernels consume."""
+        return ApproxContext(adder=self.adder, multiplier=self.multiplier,
+                             data_width=data_width, backend=self.backend,
+                             counter=counter)
 
 
 @dataclass(frozen=True)

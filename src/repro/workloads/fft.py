@@ -51,8 +51,8 @@ class FftWorkload(Workload):
         signals = [random_q15_signal(size, amplitude=float(config["amplitude"]),
                                      seed=base_seed + frame)
                    for frame in range(int(config["frames"]))]
-        fft = FixedPointFFT(size, width, adder=operators.adder,
-                            multiplier=operators.multiplier)
+        fft = FixedPointFFT(size, width,
+                            context=operators.context(data_width=width))
         psnr = fft_output_psnr(fft, signals)
         return WorkloadResult(metrics={"psnr_db": psnr},
                               counts=fft.operation_counts())

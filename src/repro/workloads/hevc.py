@@ -39,7 +39,7 @@ class HevcWorkload(Workload):
         if image is None:
             image = synthetic_image(int(config["size"]))
         score, counts = mc_quality_score(
-            image, adder=operators.adder, multiplier=operators.multiplier,
+            image, context=operators.context(),
             horizontal_phase=int(config["horizontal_phase"]),
             vertical_phase=int(config["vertical_phase"]))
         return WorkloadResult(metrics={"mssim": score}, counts=counts,

@@ -46,7 +46,7 @@ class KmeansWorkload(Workload):
         counts = None
         for cloud in clouds:
             rate, run_counts = kmeans_success_rate(
-                cloud, adder=operators.adder, multiplier=operators.multiplier,
+                cloud, context=operators.context(),
                 iterations=int(config["iterations"]))
             rates.append(rate)
             counts = run_counts

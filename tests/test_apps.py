@@ -9,6 +9,8 @@ from repro.apps import (
     JpegEncoder,
     MotionCompensationFilter,
     dct_matrix,
+    estimate_coded_bits,
+    estimate_coded_bits_blocks,
     generate_point_cloud,
     jpeg_quality_score,
     kmeans_success_rate,
@@ -20,6 +22,7 @@ from repro.apps import (
     synthetic_image,
     zigzag_order,
 )
+from repro.core import ApproxContext
 from repro.metrics import mssim, psnr_db
 from repro.operators import (
     ACAAdder,
@@ -51,6 +54,12 @@ class TestImages:
         with pytest.raises(ValueError):
             synthetic_image(4)
 
+    def test_synthetic_image_is_cached_and_read_only(self):
+        first = synthetic_image(64, seed=9)
+        second = synthetic_image(64, seed=9)
+        assert first is second  # sweeps reuse one stimulus without regenerating
+        assert not first.flags.writeable
+
 
 class TestFFT:
     def test_exact_fft_matches_numpy(self):
@@ -74,7 +83,8 @@ class TestFFT:
         signal = random_q15_signal(32, seed=4)
         psnrs = []
         for width in (15, 10, 5):
-            fft = FixedPointFFT(32, 16, adder=TruncatedAdder(16, width))
+            context = ApproxContext(adder=TruncatedAdder(16, width))
+            fft = FixedPointFFT(32, 16, context=context)
             out = fft.forward(signal).as_complex()
             ref = fft.reference_spectrum(signal)
             psnrs.append(psnr_db(np.concatenate([ref.real, ref.imag]),
@@ -145,6 +155,19 @@ class TestJpeg:
         assert pairs[1] == (2, 3)
         assert pairs[-1] == (0, 0)
 
+    def test_vectorized_bits_estimate_matches_reference(self):
+        """The batched size estimate equals the per-block run-length path."""
+        rng = np.random.default_rng(11)
+        blocks = rng.integers(-600, 600, (6, 8, 8)) \
+            * (rng.random((6, 8, 8)) < 0.35)
+        blocks[0] = 0  # all-zero block: only the end-of-block marker
+        order = zigzag_order()
+        reference = [
+            estimate_coded_bits(run_length_encode(block.ravel()[order]))
+            for block in blocks
+        ]
+        assert estimate_coded_bits_blocks(blocks).tolist() == reference
+
     def test_exact_pipeline_reconstruction_quality(self, small_image):
         result = JpegEncoder(quality=90).encode_decode(small_image)
         assert result.reconstructed.shape == small_image.shape
@@ -152,8 +175,10 @@ class TestJpeg:
         assert result.estimated_bytes > 0
 
     def test_truncated_adder_quality_degrades_gracefully(self, small_image):
-        good, _ = jpeg_quality_score(small_image, 90, adder=TruncatedAdder(16, 14))
-        bad, _ = jpeg_quality_score(small_image, 90, adder=TruncatedAdder(16, 6))
+        good, _ = jpeg_quality_score(
+            small_image, 90, context=ApproxContext(adder=TruncatedAdder(16, 14)))
+        bad, _ = jpeg_quality_score(
+            small_image, 90, context=ApproxContext(adder=TruncatedAdder(16, 6)))
         assert good > bad
         assert good > 0.95
 
@@ -183,11 +208,13 @@ class TestHevcMc:
     def test_paper_adder_configurations_reach_high_mssim(self, small_image):
         """Table III: the selected adder configurations give MSSIM >~ 0.95."""
         for adder in (TruncatedAdder(16, 10), ACAAdder(16, 12), RCAApxAdder(16, 6, 3)):
-            score, _ = mc_quality_score(small_image, adder=adder)
+            score, _ = mc_quality_score(small_image,
+                                        context=ApproxContext(adder=adder))
             assert score > 0.95, adder.name
 
     def test_constant_multiplications_counted(self, small_image):
-        _, counts = mc_quality_score(small_image, adder=TruncatedAdder(16, 10))
+        _, counts = mc_quality_score(
+            small_image, context=ApproxContext(adder=TruncatedAdder(16, 10)))
         assert counts.multiplications > 0
 
 
@@ -215,19 +242,23 @@ class TestKMeans:
         assert agreement > 0.97
 
     def test_moderate_truncation_keeps_high_success(self, point_cloud):
-        rate, _ = kmeans_success_rate(point_cloud, adder=TruncatedAdder(16, 11),
-                                      iterations=4)
+        rate, _ = kmeans_success_rate(
+            point_cloud, context=ApproxContext(adder=TruncatedAdder(16, 11)),
+            iterations=4)
         assert rate > 0.9
 
     def test_severe_truncation_degrades_success(self, point_cloud):
-        good, _ = kmeans_success_rate(point_cloud, adder=TruncatedAdder(16, 11),
-                                      iterations=4)
-        bad, _ = kmeans_success_rate(point_cloud,
-                                     multiplier=TruncatedMultiplier(16, 4),
-                                     iterations=4)
+        good, _ = kmeans_success_rate(
+            point_cloud, context=ApproxContext(adder=TruncatedAdder(16, 11)),
+            iterations=4)
+        bad, _ = kmeans_success_rate(
+            point_cloud,
+            context=ApproxContext(multiplier=TruncatedMultiplier(16, 4)),
+            iterations=4)
         assert bad < good
 
     def test_approximate_adder_behaviour(self, point_cloud):
-        rate, _ = kmeans_success_rate(point_cloud, adder=ETAIVAdder(16, 4),
-                                      iterations=4)
+        rate, _ = kmeans_success_rate(
+            point_cloud, context=ApproxContext(adder=ETAIVAdder(16, 4)),
+            iterations=4)
         assert rate > 0.8

@@ -1,0 +1,349 @@
+"""Tests for the ApproxContext / ExecutionBackend layer.
+
+The central contract: the ``"lut"`` backend is bit-identical to the
+``"direct"`` reference for every registered operator — verified exhaustively
+at 8 bits — and an :class:`ApproxContext` charges exactly the operation
+counts the seed kernels recorded.
+"""
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproxContext,
+    DirectBackend,
+    LutBackend,
+    Study,
+    clear_table_cache,
+    create_backend,
+    parse_backend,
+    parse_operator,
+    registered_backends,
+    registered_mnemonics,
+    table_cache_size,
+)
+from repro.core.datapath import OperationCounts
+from repro.operators.adders import ExactAdder, TruncatedAdder
+from repro.operators.base import MAX_EXHAUSTIVE_WIDTH
+from repro.operators.multipliers import TruncatedMultiplier
+
+#: One 8-bit configuration per registered operator mnemonic.  The test below
+#: asserts the mapping stays complete, so adding an operator to the registry
+#: without adding it to the exhaustive backend-equivalence sweep fails here.
+EIGHT_BIT_SPECS = {
+    "add": "ADD(8)",
+    "addt": "ADDt(8,5)",
+    "addr": "ADDr(8,5)",
+    "addrne": "ADDrne(8,5)",
+    "aca": "ACA(8,3)",
+    "etaii": "ETAII(8,2)",
+    "etaiv": "ETAIV(8,2)",
+    "rcaapx": "RCAApx(8,3,2)",
+    "mul": "MUL(8)",
+    "mult": "MULt(8,8)",
+    "mulr": "MULr(8,8)",
+    "booth": "BOOTH(8)",
+    "aam": "AAM(8)",
+    "abm": "ABM(8)",
+}
+
+
+class TestBackendRegistry(object):
+    def test_builtins_registered(self):
+        assert "direct" in registered_backends()
+        assert "lut" in registered_backends()
+
+    def test_parse_backend_specs(self):
+        assert isinstance(parse_backend("direct"), DirectBackend)
+        backend = parse_backend("lut(max_pair_width=8)")
+        assert isinstance(backend, LutBackend)
+        assert backend.max_pair_width == 8
+
+    def test_parse_backend_passthrough_and_default(self):
+        instance = LutBackend()
+        assert parse_backend(instance) is instance
+        assert isinstance(parse_backend(None), DirectBackend)
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="no_such_backend"):
+            create_backend("no_such_backend")
+
+    def test_bad_backend_arguments(self):
+        with pytest.raises(ValueError, match="lut"):
+            parse_backend("lut(no_such_parameter=3)")
+
+
+class TestLutEquivalence(object):
+    def test_every_registered_operator_is_swept(self):
+        assert set(registered_mnemonics()) == set(EIGHT_BIT_SPECS)
+
+    @pytest.mark.parametrize("spec", sorted(EIGHT_BIT_SPECS.values()))
+    def test_exhaustive_8bit_equivalence(self, spec):
+        """Every operand pair of every registered 8-bit operator agrees."""
+        clear_table_cache()
+        operator = parse_operator(spec)
+        a, b = operator.exhaustive_inputs()
+        direct = DirectBackend().execute(operator, a, b)
+        lut = LutBackend().execute(operator, a, b)
+        assert np.array_equal(direct, lut), spec
+
+    @pytest.mark.parametrize("spec", ["MULt(16,16)", "AAM(16)", "BOOTH(16)"])
+    def test_constant_operand_path_16bit(self, spec):
+        """Scalar operands (DCT coefficients, twiddles) hit the value tables."""
+        clear_table_cache()
+        operator = parse_operator(spec)
+        rng = np.random.default_rng(3)
+        a = rng.integers(-32768, 32768, size=(7, 11), dtype=np.int64)
+        backend = LutBackend(min_value_size=1)
+        for constant in (0, 1, -1, 77, -12345):
+            direct = DirectBackend().execute(operator, a, constant)
+            # First call: functional fallback (one-shot constant); second
+            # call: the table path.  Both must match the direct reference.
+            assert np.array_equal(direct, backend.execute(operator, a, constant))
+            assert np.array_equal(direct, backend.execute(operator, a, constant))
+        # Scalar on the left resolves through the other table side.
+        direct = DirectBackend().execute(operator, np.int64(77), a)
+        backend.execute(operator, np.int64(77), a)
+        assert np.array_equal(direct, backend.execute(operator, np.int64(77), a))
+
+    def test_square_path_16bit(self):
+        """Passing the same array twice (K-means squaring) uses the diagonal."""
+        clear_table_cache()
+        operator = parse_operator("AAM(16)")
+        rng = np.random.default_rng(4)
+        values = rng.integers(-32768, 32768, size=500, dtype=np.int64)
+        direct = DirectBackend().execute(operator, values, values)
+        backend = LutBackend()
+        assert np.array_equal(direct, backend.execute(operator, values, values))
+        assert np.array_equal(direct, backend.execute(operator, values, values))
+        assert table_cache_size() == 1  # diagonal table opened on recurrence
+
+    def test_sum_table_path_16bit(self):
+        """Data-sized 16-bit adders resolve through the sum-indexed table."""
+        clear_table_cache()
+        rng = np.random.default_rng(5)
+        a = rng.integers(-32768, 32768, size=4096, dtype=np.int64)
+        b = rng.integers(-32768, 32768, size=4096, dtype=np.int64)
+        for spec in ("ADD(16)", "ADDt(16,10)", "ADDr(16,9)", "ADDrne(16,12)"):
+            operator = parse_operator(spec)
+            assert operator.sum_addressable
+            direct = DirectBackend().execute(operator, a, b)
+            lut = LutBackend().execute(operator, a, b)
+            assert np.array_equal(direct, lut), spec
+
+    def test_wide_general_operands_fall_back_to_direct(self):
+        """16-bit approximate adders on general arrays use the functional model."""
+        clear_table_cache()
+        operator = parse_operator("ACA(16,8)")
+        assert not operator.sum_addressable
+        rng = np.random.default_rng(6)
+        a = rng.integers(-32768, 32768, size=1000, dtype=np.int64)
+        b = rng.integers(-32768, 32768, size=1000, dtype=np.int64)
+        direct = DirectBackend().execute(operator, a, b)
+        lut = LutBackend().execute(operator, a, b)
+        assert np.array_equal(direct, lut)
+        assert table_cache_size() == 0  # nothing tabulated for this shape
+
+    def test_lazy_value_tables_grow_with_observed_values(self):
+        clear_table_cache()
+        operator = parse_operator("MULt(16,16)")
+        backend = LutBackend(min_value_size=1)
+        first = backend.execute(operator, np.array([1, 2, 3], dtype=np.int64), 7)
+        assert table_cache_size() == 0  # one-shot constant: no table yet
+        again = backend.execute(operator, np.array([3, 2, 1], dtype=np.int64), 7)
+        assert np.array_equal(first[::-1], again)
+        assert table_cache_size() == 1  # recurring constant earned its table
+
+    def test_one_shot_constants_never_open_tables(self):
+        """K-means centroids change every iteration; they stay on the model."""
+        clear_table_cache()
+        operator = parse_operator("ETAIV(16,4)")
+        backend = LutBackend(min_value_size=1)
+        rng = np.random.default_rng(8)
+        points = rng.integers(-32768, 32768, size=400, dtype=np.int64)
+        for constant in range(40):  # 40 distinct one-shot centroids
+            direct = DirectBackend().execute(operator, points, constant)
+            assert np.array_equal(direct,
+                                  backend.execute(operator, points, constant))
+        assert table_cache_size() == 0
+
+    def test_small_calls_without_a_table_use_the_functional_model(self):
+        clear_table_cache()
+        operator = parse_operator("MULt(16,16)")
+        backend = LutBackend(min_value_size=256)
+        values = np.array([5, -3], dtype=np.int64)
+        direct = DirectBackend().execute(operator, values, 9)
+        assert np.array_equal(backend.execute(operator, values, 9), direct)
+        assert table_cache_size() == 0  # tiny calls do not open tables
+
+    def test_cache_shared_across_backend_instances(self):
+        clear_table_cache()
+        operator = parse_operator("ADDt(16,10)")
+        a = np.arange(-50, 50, dtype=np.int64)
+        LutBackend().execute(operator, a, a[::-1].copy())
+        assert table_cache_size() == 1
+        LutBackend().execute(operator, a, a.copy())
+        assert table_cache_size() == 1  # same sum table, no rebuild
+
+
+class TestApproxContext(object):
+    def test_defaults_are_the_exact_baseline(self):
+        context = ApproxContext()
+        assert context.adder.name == "ADD(16)"
+        assert context.multiplier.name == "MULt(16,16)"
+        assert context.backend.name == "direct"
+        assert context.data_width == 16 and context.frac_bits == 15
+
+    def test_spec_strings_resolve(self):
+        context = ApproxContext(adder="ADDt(16,10)", multiplier="AAM(16)",
+                                backend="lut")
+        assert context.adder.name == "ADDt(16,10)"
+        assert context.multiplier.name == "AAM(16)"
+        assert context.backend.name == "lut"
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(TypeError, match="not an adder"):
+            ApproxContext(adder=TruncatedMultiplier(16, 16))
+        with pytest.raises(TypeError, match="not a multiplier"):
+            ApproxContext(multiplier=TruncatedAdder(16, 10))
+
+    def test_counts_match_the_seed_kernel_inventory(self):
+        """Scalar broadcasting charges exactly what the seed kernels counted."""
+        context = ApproxContext(adder=TruncatedAdder(16, 10))
+        values = np.arange(-64, 64, dtype=np.int64)
+        context.add(values, values[::-1].copy())
+        context.sub(values, 3)               # scalar still counts per element
+        context.mul(values, 5)
+        counts = context.counts
+        assert counts == OperationCounts(additions=2 * values.size,
+                                         multiplications=values.size)
+
+    def test_counts_since_extracts_deltas(self):
+        context = ApproxContext()
+        values = np.arange(16, dtype=np.int64)
+        context.add(values, values)
+        snapshot = context.counts
+        context.mul(values, 2)
+        delta = context.counts_since(snapshot)
+        assert delta == OperationCounts(additions=0, multiplications=16)
+
+    def test_fft_counts_match_radix2_formula(self):
+        from repro.apps import FixedPointFFT, random_q15_signal
+
+        context = ApproxContext(adder="ADDt(16,10)", backend="lut")
+        fft = FixedPointFFT(32, context=context)
+        result = fft.forward(random_q15_signal(32, seed=2))
+        expected = fft.operation_counts()
+        assert result.counts.additions == expected.additions == 480
+        assert result.counts.multiplications == expected.multiplications == 320
+
+    def test_dct_counts_match_matrix_formula(self):
+        from repro.apps import FixedPointDCT
+
+        context = ApproxContext()
+        dct = FixedPointDCT(context=context)
+        blocks = np.zeros((3, 8, 8), dtype=np.int64)
+        dct.forward(blocks)
+        assert context.counts == dct.operation_counts(blocks=3)
+
+    def test_kmeans_counts_match_distance_formula(self):
+        from repro.apps import FixedPointKMeans, generate_point_cloud
+
+        cloud = generate_point_cloud(100, 4, seed=2)
+        context = ApproxContext()
+        km = FixedPointKMeans(clusters=4, context=context, iterations=1)
+        km.assign(cloud.points, cloud.centers)
+        # Per centroid and dimension: one difference, one squaring, one
+        # accumulation — over 100 points, 4 centroids, 2 dimensions.
+        assert context.counts == OperationCounts(additions=4 * 2 * 2 * 100,
+                                                 multiplications=4 * 2 * 100)
+
+    def test_energy_breakdown_charges_accumulated_counts(self):
+        from repro.core import DatapathEnergyModel
+
+        context = ApproxContext(adder="ADDt(16,10)")
+        values = np.arange(32, dtype=np.int64)
+        context.add(values, values)
+        breakdown = context.energy_breakdown(
+            DatapathEnergyModel(hardware_samples=200))
+        assert breakdown.additions == 32
+        assert breakdown.total_energy_pj > 0.0
+
+    def test_data_width_mismatch_rejected_by_kernels(self):
+        from repro.apps import FixedPointFFT
+
+        with pytest.raises(ValueError, match="word length"):
+            FixedPointFFT(32, data_width=16,
+                          context=ApproxContext(data_width=8))
+
+
+class TestStudyBackendThreading(object):
+    def _study(self, backend):
+        return (Study()
+                .workload("fft(32, frames=2)")
+                .adders(["ADDt(16,10)", "ACA(16,8)"])
+                .seed(7)
+                .backend(backend))
+
+    def test_lut_study_records_are_bit_identical(self):
+        direct = self._study("direct").run()
+        lut = self._study("lut").run()
+        assert direct.rows == lut.rows
+        assert lut.metadata["backend"] == "lut"
+
+    def test_backend_instance_accepted(self):
+        result = self._study(LutBackend(max_pair_width=8)).run()
+        assert result.metadata["backend"] == "lut"
+
+    def test_jpeg_workload_identical_across_backends(self):
+        def run(backend):
+            return (Study()
+                    .workload("jpeg(size=32)")
+                    .adders(["ADDt(16,10)", "ADDr(16,12)"])
+                    .seed(3)
+                    .backend(backend)
+                    .run())
+
+        assert run("direct").rows == run("lut").rows
+
+    def test_kmeans_workload_identical_across_backends(self):
+        def run(backend):
+            return (Study()
+                    .workload("kmeans(runs=1, points_per_run=300, iterations=2)")
+                    .multipliers(["MULt(16,16)", "MULt(16,8)"])
+                    .seed(5)
+                    .backend(backend)
+                    .run())
+
+        assert run("direct").rows == run("lut").rows
+
+    def test_run_all_accepts_backend(self):
+        import inspect
+
+        from repro.experiments import run_all
+
+        assert "backend" in inspect.signature(run_all).parameters
+
+
+class TestStimulusSatellites(object):
+    def test_random_inputs_default_is_deterministic(self):
+        operator = parse_operator("ADDt(16,10)")
+        first = operator.random_inputs(32)
+        second = operator.random_inputs(32)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_random_inputs_accepts_integer_seed(self):
+        operator = parse_operator("MULt(16,16)")
+        a1, b1 = operator.random_inputs(16, rng=123)
+        a2, b2 = operator.random_inputs(16, rng=123)
+        a3, _ = operator.random_inputs(16, rng=124)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+        assert not np.array_equal(a1, a3)
+
+    def test_exhaustive_inputs_guard_names_the_pair_count(self):
+        for spec in ("MULt(16,16)", f"ADD({MAX_EXHAUSTIVE_WIDTH + 1})"):
+            with pytest.raises(ValueError, match="operand pairs"):
+                parse_operator(spec).exhaustive_inputs()
+        # Small widths still enumerate completely.
+        a, b = parse_operator("ADD(8)").exhaustive_inputs()
+        assert a.size == b.size == 4 ** 8
