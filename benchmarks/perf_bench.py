@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Wall-clock benchmark of the execution backends, emitting ``BENCH_perf.json``.
 
-Two representative 16-bit studies run on each
+Three representative 16-bit studies run on each
 :class:`~repro.core.backends.ExecutionBackend`:
 
 * ``jpeg16`` — the JPEG multiplier comparison (data-sized ``MULt`` against
@@ -9,20 +9,28 @@ Two representative 16-bit studies run on each
   sequence, the setup where the ``"lut"`` backend's constant-coefficient
   tables carry the DCT's hot loop.
 * ``fft16`` — the FFT-1024 data-sized adder sweep, where the sum-indexed
-  adder tables carry the butterfly additions.
+  adder tables carry the butterfly additions and the stage-fused kernel
+  turns the O(N log N) per-twiddle Python calls into ten batched calls per
+  stage.
+* ``fft2048_fused`` — a larger stage-fused FFT study (FFT-2048), showing
+  the fusion + coefficient-bank machinery at scale.
 
-Each study is timed with the ``"direct"`` reference backend, with a cold
-``"lut"`` backend (empty table cache — includes every table build) and with a
-warm one (tables already resident, the steady state of a long sweep
-campaign).  The emitted records are asserted bit-identical across backends
-before any number is written.
+Each study is timed four ways: with the **pre-fusion reference execution**
+(seed-style per-constant loops on the ``"direct"`` backend — the ``direct_s``
+baseline, unchanged in meaning since the benchmark was introduced), with the
+stage-fused kernels on ``"direct"`` (``direct_fused_s``), and with a cold and
+a warm ``"lut"`` backend running fused (``lut_cold_s`` / ``lut_warm_s``).
+The emitted records are asserted bit-identical across all four runs before
+any number is written.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_bench.py [--output BENCH_perf.json]
 
-Pass ``--min-jpeg-speedup 3`` to make the script exit non-zero unless the
-cold LUT backend beats direct by at least that factor on the JPEG study.
+``--check`` reads the *recorded* ``floor_speedup`` of each study from the
+baseline JSON (``--baseline``, defaulting to the output path before it is
+overwritten) and exits non-zero if any measured cold LUT speedup regresses
+below its floor — the regression gate the CI workflow runs on every push.
 """
 from __future__ import annotations
 
@@ -36,7 +44,8 @@ from pathlib import Path
 from repro import Study, __version__
 from repro.core import clear_table_cache
 
-#: The benchmarked studies: name -> (workload spec, sweep axis, operator specs).
+#: The benchmarked studies: name -> (workload spec, sweep axis, operator
+#: specs, conservative speedup floor enforced by ``--check``).
 STUDIES = {
     "jpeg16": {
         "workload": "jpeg(size=192, quality=90, frames=10)",
@@ -44,68 +53,106 @@ STUDIES = {
         "operators": ["MULt(16,16)", "AAM(16)", "ABM(16)", "BOOTH(16)"],
         "description": "16-bit JPEG study: DCT multiplier comparison over a "
                        "10-frame synthetic sequence",
+        "floor_speedup": 2.0,
     },
     "fft16": {
         "workload": "fft(1024, frames=2)",
         "axis": "adders",
         "operators": ["ADDt(16,14)", "ADDt(16,12)", "ADDt(16,10)",
                       "ADDt(16,8)", "ADDr(16,12)", "ADDr(16,10)"],
-        "description": "16-bit FFT-1024 study: data-sized adder sweep",
+        "description": "16-bit FFT-1024 study: data-sized adder sweep, "
+                       "stage-fused",
+        "floor_speedup": 3.0,
+    },
+    "fft2048_fused": {
+        "workload": "fft(2048, frames=2)",
+        "axis": "adders",
+        "operators": ["ADDt(16,12)", "ADDt(16,10)", "ADDr(16,10)"],
+        "description": "16-bit FFT-2048 study: stage-fused adder sweep at "
+                       "scale",
+        "floor_speedup": 3.0,
     },
 }
 
 SEED = 7
 
 
-def build_study(spec: dict, backend: str) -> Study:
+def build_study(spec: dict, backend: str, fused: bool = True) -> Study:
     study = Study().workload(spec["workload"]).seed(SEED).backend(backend)
     getattr(study, spec["axis"])(spec["operators"])
+    if not fused:
+        study.config(fused=False)
     return study
 
 
-def time_study(spec: dict, backend: str, cold: bool):
+def time_study(spec: dict, backend: str, cold: bool, fused: bool = True):
     """Run one study once; returns (wall seconds, result rows)."""
     if cold:
         clear_table_cache()
     start = time.perf_counter()
-    result = build_study(spec, backend).run()
+    result = build_study(spec, backend, fused=fused).run()
     return time.perf_counter() - start, result.rows
 
 
 def bench_study(name: str, spec: dict) -> dict:
-    direct_s, direct_rows = time_study(spec, "direct", cold=True)
+    direct_s, direct_rows = time_study(spec, "direct", cold=True, fused=False)
+    direct_fused_s, fused_rows = time_study(spec, "direct", cold=True)
     lut_cold_s, lut_rows = time_study(spec, "lut", cold=True)
     lut_warm_s, lut_warm_rows = time_study(spec, "lut", cold=False)
-    identical = direct_rows == lut_rows == lut_warm_rows
+    identical = direct_rows == fused_rows == lut_rows == lut_warm_rows
     if not identical:
         raise AssertionError(
-            f"{name}: lut backend records differ from the direct reference")
+            f"{name}: stage-fused / lut records differ from the seed-style "
+            f"direct reference")
     record = {
         "description": spec["description"],
         "workload": spec["workload"],
         "sweep": list(spec["operators"]),
         "seed": SEED,
         "direct_s": round(direct_s, 4),
+        "direct_fused_s": round(direct_fused_s, 4),
         "lut_cold_s": round(lut_cold_s, 4),
         "lut_warm_s": round(lut_warm_s, 4),
         "speedup_cold": round(direct_s / lut_cold_s, 2),
         "speedup_warm": round(direct_s / lut_warm_s, 2),
+        "fusion_speedup": round(direct_s / direct_fused_s, 2),
+        "floor_speedup": spec["floor_speedup"],
         "identical_records": identical,
     }
-    print(f"{name}: direct {direct_s:6.2f}s | lut cold {lut_cold_s:6.2f}s "
+    print(f"{name}: direct {direct_s:6.2f}s | fused {direct_fused_s:6.2f}s "
+          f"({record['fusion_speedup']:.2f}x) | lut cold {lut_cold_s:6.2f}s "
           f"({record['speedup_cold']:.2f}x) | lut warm {lut_warm_s:6.2f}s "
           f"({record['speedup_warm']:.2f}x) | records identical")
     return record
+
+
+def load_floors(path: Path) -> dict:
+    """Recorded per-study speedup floors from an earlier BENCH_perf.json."""
+    if not path.exists():
+        return {}
+    recorded = json.loads(path.read_text()).get("studies", {})
+    return {name: study["floor_speedup"] for name, study in recorded.items()
+            if "floor_speedup" in study}
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_perf.json",
                         help="path of the emitted JSON (default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when a measured cold LUT speedup falls "
+                             "below the floor recorded in the baseline JSON")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON holding the floors for --check "
+                             "(default: the --output path, read before "
+                             "overwriting)")
     parser.add_argument("--min-jpeg-speedup", type=float, default=0.0,
                         help="fail unless the cold LUT speedup on the jpeg16 "
                              "study reaches this factor (default: report only)")
     args = parser.parse_args(argv)
+
+    floors = load_floors(Path(args.baseline or args.output)) \
+        if args.check else {}
 
     payload = {
         "script": "benchmarks/perf_bench.py",
@@ -118,12 +165,35 @@ def main(argv=None) -> int:
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
 
+    failed = False
+    if args.check:
+        if not floors:
+            # A missing or floorless baseline must not turn the gate green.
+            print("FAIL: --check found no recorded floors in "
+                  f"{args.baseline or args.output}; the regression gate "
+                  f"has nothing to enforce", file=sys.stderr)
+            failed = True
+        for name, floor in floors.items():
+            study = payload["studies"].get(name)
+            if study is None:
+                print(f"FAIL: baseline floor for {name!r} matches no "
+                      f"measured study (renamed or removed?)",
+                      file=sys.stderr)
+                failed = True
+                continue
+            measured = study["speedup_cold"]
+            if measured < floor:
+                print(f"FAIL: {name} cold speedup {measured:.2f}x regressed "
+                      f"below the recorded floor {floor:.2f}x",
+                      file=sys.stderr)
+                failed = True
+
     jpeg_speedup = payload["studies"]["jpeg16"]["speedup_cold"]
     if args.min_jpeg_speedup and jpeg_speedup < args.min_jpeg_speedup:
         print(f"FAIL: jpeg16 cold speedup {jpeg_speedup:.2f}x is below the "
               f"required {args.min_jpeg_speedup:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

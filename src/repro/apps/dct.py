@@ -7,11 +7,12 @@ caller.  This is the kernel whose operators the paper swaps in the JPEG
 experiment (Figure 6).
 
 Blocks are processed in batches: the transform accepts a ``(blocks, 8, 8)``
-array and evaluates each multiply-accumulate step across every block in one
-vectorised context call, which keeps the full-image experiments fast without
-changing the bit-accurate arithmetic.  Cosine coefficients reach the context
-as scalar constants, so LUT backends can serve each coefficient
-multiplication from a cached table.
+array and — by default — executes each matrix pass *stage-fused*: every
+coefficient multiplication of the pass runs in one batched context call with
+the cosine matrix as a per-element coefficient bank (``bank=True``), and the
+accumulations follow as one batched adder call per accumulation step.
+``fused=False`` replays the seed-style loop (one scalar-coefficient call per
+matrix entry); results and operation counts are bit-identical either way.
 """
 from __future__ import annotations
 
@@ -48,7 +49,8 @@ class FixedPointDCT:
 
     def __init__(self, data_width: int = 16,
                  context: Optional[ApproxContext] = None,
-                 block_size: int = BLOCK_SIZE) -> None:
+                 block_size: int = BLOCK_SIZE,
+                 fused: bool = True) -> None:
         if context is None:
             context = ApproxContext(data_width=data_width)
         elif context.data_width != data_width:
@@ -56,6 +58,7 @@ class FixedPointDCT:
                 f"context word length ({context.data_width} bits) does not "
                 f"match the requested datapath ({data_width} bits)")
         self.block_size = block_size
+        self.fused = bool(fused)
         self.context = context
         self.data_width = context.data_width
         self.pixel_frac_bits = 5
@@ -86,6 +89,20 @@ class FixedPointDCT:
         """
         ctx = self.context
         blocks, n, columns = data.shape
+        if self.fused:
+            # Stage-fused: all n*n coefficient products in one banked call,
+            # then one batched accumulation per dot-product step.  Each
+            # output row r accumulates term k = 0..n-1 in the same order as
+            # the seed loop, so results are bit-identical.
+            operands = np.broadcast_to(data[:, np.newaxis, :, :],
+                                       (blocks, n, n, columns))
+            bank = coeffs[np.newaxis, :, :, np.newaxis]
+            products = ctx.mul(operands, bank, bank=True)
+            terms = ctx.wrap(products >> self.coeff_frac_bits)
+            accumulator = np.zeros((blocks, n, columns), dtype=np.int64)
+            for k in range(n):
+                accumulator = ctx.add(accumulator, terms[:, :, k, :])
+            return accumulator
         result = np.zeros_like(data)
         for r in range(n):
             accumulator = np.zeros((blocks, columns), dtype=np.int64)

@@ -7,8 +7,14 @@ operations along the way so the datapath energy model (Equation 1) can charge
 them.  Per-stage scaling by 1/2 keeps the butterflies overflow-free, which is
 the classical fixed-point FFT arrangement.
 
-Twiddle factors reach the context as scalar constants, so LUT backends can
-evaluate each twiddle multiplication with one cached table gather.
+Execution is *stage-fused* by default: each of the ``log2(size)`` stages
+issues ten batched context calls covering every butterfly at once, with the
+stage's twiddles gathered into a per-element coefficient bank
+(``ctx.mul(..., bank=True)``) so LUT backends can group them by unique
+constant.  ``fused=False`` selects the seed-style per-twiddle loop — one
+round of context calls per twiddle offset — which is bit-identical and
+charges exactly the same operation counts, but pays O(size/2) Python
+dispatches per stage.
 """
 from __future__ import annotations
 
@@ -49,10 +55,16 @@ class FixedPointFFT:
         The :class:`ApproxContext` executing the additions and twiddle
         multiplications.  ``None`` selects the exact fixed-point baseline
         (accurate adder, fixed-width truncated multiplier, direct backend).
+    fused:
+        ``True`` (default) executes each stage as one batched pass over all
+        butterflies with the twiddles as a coefficient bank; ``False``
+        replays the seed-style per-twiddle loop.  Results and operation
+        counts are bit-identical either way.
     """
 
     def __init__(self, size: int = 32, data_width: int = 16,
-                 context: Optional[ApproxContext] = None) -> None:
+                 context: Optional[ApproxContext] = None,
+                 fused: bool = True) -> None:
         if size < 2 or size & (size - 1) != 0:
             raise ValueError("FFT size must be a power of two >= 2")
         if context is None:
@@ -65,6 +77,7 @@ class FixedPointFFT:
         self.context = context
         self.data_width = context.data_width
         self.frac_bits = context.frac_bits
+        self.fused = bool(fused)
         self._twiddles = self._quantized_twiddles()
 
     @property
@@ -92,9 +105,9 @@ class FixedPointFFT:
     # ------------------------------------------------------------------ #
     # Instrumented arithmetic
     # ------------------------------------------------------------------ #
-    def _mul(self, a: np.ndarray, twiddle: int) -> np.ndarray:
+    def _mul(self, a: np.ndarray, twiddle, bank: bool = False) -> np.ndarray:
         """Q1.15 x Q1.15 product re-aligned to Q1.15 (shift by frac_bits)."""
-        product = self.context.mul(a, twiddle)
+        product = self.context.mul(a, twiddle, bank=bank)
         return self.context.wrap(product >> self.frac_bits)
 
     @staticmethod
@@ -132,9 +145,39 @@ class FixedPointFFT:
         half = 1
         while half < self.size:
             step = self.size // (2 * half)
+            if self.fused:
+                # Stage-fused: every butterfly of the stage in one batched
+                # pass — rows are twiddle offsets, columns are the groups
+                # sharing that twiddle, and the twiddle column broadcasts as
+                # a coefficient bank over the whole (half, groups) block.
+                offsets = np.arange(half, dtype=np.int64)
+                starts = np.arange(0, self.size, 2 * half, dtype=np.int64)
+                tops = offsets[:, None] + starts[None, :]
+                bottoms = tops + half
+                k = offsets * step
+                w_re = tw_re[k][:, None]
+                w_im = tw_im[k][:, None]
+
+                # Pre-scale both branches to keep the butterfly in range.
+                a_re, a_im = self._halve(x_re[tops]), self._halve(x_im[tops])
+                b_re, b_im = self._halve(x_re[bottoms]), self._halve(x_im[bottoms])
+
+                # Complex twiddle multiplication (4 real mult, 2 real add).
+                prod_re = ctx.sub(self._mul(b_re, w_re, bank=True),
+                                  self._mul(b_im, w_im, bank=True))
+                prod_im = ctx.add(self._mul(b_re, w_im, bank=True),
+                                  self._mul(b_im, w_re, bank=True))
+
+                # Butterfly combine (4 real additions).
+                x_re[tops] = ctx.add(a_re, prod_re)
+                x_im[tops] = ctx.add(a_im, prod_im)
+                x_re[bottoms] = ctx.sub(a_re, prod_re)
+                x_im[bottoms] = ctx.sub(a_im, prod_im)
+                half *= 2
+                continue
             for offset in range(half):
-                # All butterflies sharing this twiddle, across every group,
-                # are evaluated in one vectorised call into the context.
+                # Seed-style: all butterflies sharing this twiddle, across
+                # every group, in one vectorised call into the context.
                 tops = np.arange(offset, self.size, 2 * half, dtype=np.int64)
                 bottoms = tops + half
                 k = offset * step

@@ -9,9 +9,12 @@ and measures the MSSIM of the interpolated image against the exact filter
 output (Tables III and IV).
 
 The multiplications are by small constant coefficients, which is why the
-datapath model charges them as constant-coefficient multiplications — and why
-the taps reach the :class:`~repro.core.context.ApproxContext` as scalars, so
-LUT backends serve them from cached tables.
+datapath model charges them as constant-coefficient multiplications.  By
+default every non-zero tap of a phase is evaluated in one *stage-fused*
+context call with the taps as a coefficient bank (``bank=True``), so LUT
+backends serve the whole phase from cached per-tap tables; ``fused=False``
+replays the seed-style per-tap loop, bit-identical and with the same
+operation counts.
 """
 from __future__ import annotations
 
@@ -57,7 +60,8 @@ class MotionCompensationFilter:
     """Separable HEVC fractional interpolation through an ApproxContext."""
 
     def __init__(self, data_width: int = 16,
-                 context: Optional[ApproxContext] = None) -> None:
+                 context: Optional[ApproxContext] = None,
+                 fused: bool = True) -> None:
         if context is None:
             context = ApproxContext(data_width=data_width)
         elif context.data_width != data_width:
@@ -66,6 +70,7 @@ class MotionCompensationFilter:
                 f"match the requested datapath ({data_width} bits)")
         self.context = context
         self.data_width = context.data_width
+        self.fused = bool(fused)
 
     @property
     def adder(self):
@@ -92,7 +97,10 @@ class MotionCompensationFilter:
             return accumulator
         ctx = self.context
         scaled_samples = np.asarray(samples, dtype=np.int64) << self._PIXEL_SHIFT
-        product = ctx.mul(scaled_samples, int(coefficient) << self._COEFF_SHIFT)
+        # in_range=False: second-pass samples are first-pass intermediates,
+        # which may overshoot the pixel range (and thus the datapath grid).
+        product = ctx.mul(scaled_samples, int(coefficient) << self._COEFF_SHIFT,
+                          in_range=False)
         # Re-align the product to plain pixel*coefficient units; the HEVC
         # intermediate values then fit the 16-bit accumulation by design.
         term = ctx.wrap(product >> (self._PIXEL_SHIFT + self._COEFF_SHIFT))
@@ -107,13 +115,37 @@ class MotionCompensationFilter:
         pad[axis] = (radius_before, radius_after)
         padded = np.pad(image, pad, mode="edge").astype(np.int64)
 
-        accumulator = np.zeros(image.shape, dtype=np.int64)
-        for index, coefficient in enumerate(taps):
+        def window(index: int) -> np.ndarray:
             if axis == 0:
-                window = padded[index:index + image.shape[0], :]
-            else:
-                window = padded[:, index:index + image.shape[1]]
-            accumulator = self._mac(accumulator, window, coefficient)
+                return padded[index:index + image.shape[0], :]
+            return padded[:, index:index + image.shape[1]]
+
+        accumulator = np.zeros(image.shape, dtype=np.int64)
+        if self.fused:
+            # Stage-fused: every non-zero tap's product in one banked call
+            # (zero taps are skipped exactly as the seed-style loop skips
+            # them, so operation counts match), then one accumulation per
+            # tap in the same order.
+            active = [(index, coefficient) for index, coefficient
+                      in enumerate(taps) if coefficient != 0]
+            if not active:
+                return accumulator >> FILTER_SHIFT
+            ctx = self.context
+            stacked = np.stack([window(index) for index, _ in active])
+            bank = np.asarray([coefficient << self._COEFF_SHIFT
+                               for _, coefficient in active],
+                              dtype=np.int64).reshape(-1, 1, 1)
+            # in_range=False: second-pass samples are first-pass
+            # intermediates, which may overshoot the pixel range (and thus
+            # the datapath grid).
+            products = ctx.mul(stacked << self._PIXEL_SHIFT, bank, bank=True,
+                               in_range=False)
+            terms = ctx.wrap(products >> (self._PIXEL_SHIFT + self._COEFF_SHIFT))
+            for tap in range(len(active)):
+                accumulator = ctx.add(accumulator, terms[tap])
+            return accumulator >> FILTER_SHIFT
+        for index, coefficient in enumerate(taps):
+            accumulator = self._mac(accumulator, window(index), coefficient)
         return accumulator >> FILTER_SHIFT
 
     # ------------------------------------------------------------------ #
@@ -142,17 +174,19 @@ class MotionCompensationFilter:
                               vertical_phase: int = 2) -> np.ndarray:
         """Exact integer reference of the same interpolation."""
         exact = MotionCompensationFilter(
-            self.data_width, context=self.context.exact_reference())
+            self.data_width, context=self.context.exact_reference(),
+            fused=self.fused)
         return exact.interpolate(image, horizontal_phase, vertical_phase).interpolated
 
 
 def mc_quality_score(image: np.ndarray,
                      context: Optional[ApproxContext] = None,
-                     horizontal_phase: int = 2, vertical_phase: int = 2
-                     ) -> Tuple[float, OperationCounts]:
+                     horizontal_phase: int = 2, vertical_phase: int = 2,
+                     fused: bool = True) -> Tuple[float, OperationCounts]:
     """MSSIM of the approximate MC filter output against the exact one."""
     mc = MotionCompensationFilter(
-        context=context if context is not None else ApproxContext())
+        context=context if context is not None else ApproxContext(),
+        fused=fused)
     approx = mc.interpolate(image, horizontal_phase, vertical_phase)
     reference = mc.reference_interpolate(image, horizontal_phase, vertical_phase)
     score = mssim(reference.astype(np.float64),

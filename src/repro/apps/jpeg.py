@@ -123,10 +123,11 @@ class JpegEncoder:
 
     def __init__(self, quality: int = 90,
                  context: Optional[ApproxContext] = None,
-                 data_width: int = 16) -> None:
+                 data_width: int = 16, fused: bool = True) -> None:
         self.quality = quality
         self.table = quality_scaled_table(quality)
-        self.dct = FixedPointDCT(data_width=data_width, context=context)
+        self.dct = FixedPointDCT(data_width=data_width, context=context,
+                                 fused=fused)
         self.context = self.dct.context
 
     def encode_decode(self, image: np.ndarray) -> JpegResult:

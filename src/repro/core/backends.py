@@ -28,8 +28,22 @@ The LUT backend picks the cheapest applicable table per call:
    table over the variable operand, filled *lazily* with only the values
    actually observed so expensive approximate operators never evaluate more
    stimulus than the data contains.
-4. **Square tables** when both operands are the same array (the K-means
+4. **Coefficient banks** when the caller flags ``b`` as a small bank of
+   constants broadcast over ``a`` (``execute(..., bank=True)`` — one FFT
+   stage's twiddles, a DCT pass's cosine rows, all taps of an HEVC phase,
+   every K-means centroid): elements are grouped by unique constant in one
+   ``np.unique``/``np.argsort`` pass and each group is served from the same
+   per-constant value tables as strategy 3 — so a whole kernel stage
+   executes as *one* batched call instead of one call per constant.
+   Groups without a resident table are batched into a single functional
+   evaluation, never a per-constant Python loop.
+5. **Square tables** when both operands are the same array (the K-means
    squared distances): a lazily-filled diagonal table.
+
+Callers that keep their operands on the datapath grid (the
+:class:`~repro.core.context.ApproxContext` kernel contract) may pass
+``in_range=True`` to skip the operand range scans entirely; otherwise a
+single fused reduction pass validates each operand array.
 
 Tables are cached process-wide (mirroring how the Study's hardware
 characterisation cache shares synthesis results across sweep points): two
@@ -69,21 +83,105 @@ class ExecutionBackend(ABC):
 
     @abstractmethod
     def execute(self, operator: Operator, a: np.ndarray,
-                b: np.ndarray) -> np.ndarray:
-        """Aligned result of ``operator`` over ``a`` and ``b`` (broadcast)."""
+                b: np.ndarray, bank: bool = False,
+                in_range: bool = False) -> np.ndarray:
+        """Aligned result of ``operator`` over ``a`` and ``b`` (broadcast).
+
+        ``bank`` and ``in_range`` are execution *hints* and never change the
+        result.  ``bank=True`` promises that ``b`` is a small bank of
+        constants broadcast over ``a`` (FFT twiddles, DCT cosine rows, HEVC
+        taps, K-means centroids), enabling grouped table strategies.
+        ``in_range=True`` promises both operands lie within the operator's
+        signed input range, letting table backends skip their operand scans.
+        Implementations are free to ignore either hint.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{self.__class__.__name__} {self.name}>"
 
 
+def _functional(operator: Operator, a, b) -> np.ndarray:
+    """Evaluate the functional model with operands explicitly broadcast.
+
+    Some bit-level models (ACA and friends) allocate their result from the
+    first operand's shape, so mixed-shape operands — a coefficient bank
+    broadcast over data — are expanded here once rather than in every model.
+    """
+    a_arr = np.asarray(a, dtype=np.int64)
+    b_arr = np.asarray(b, dtype=np.int64)
+    if a_arr.ndim and b_arr.ndim and a_arr.shape != b_arr.shape:
+        a_arr, b_arr = np.broadcast_arrays(a_arr, b_arr)
+    return np.asarray(operator.aligned(a_arr, b_arr), dtype=np.int64)
+
+
+#: Cell-wise bank execution applies when each constant covers at least this
+#: many elements: a bit-serial model over an L2-sized slice with a *scalar*
+#: partner beats one giant streamed pass with an array partner.
+_BANK_CELL_MIN = 256
+#: ... and when the bank itself has at most this many cells (a Python loop
+#: per cell must stay negligible next to the per-cell vector work).
+_MAX_BANK_CELLS = 128
+
+
+def _bank_cells(a: np.ndarray, b: np.ndarray, shape: Tuple[int, ...]):
+    """Yield ``(slicer, constant, values)`` for each cell of a small bank.
+
+    ``b`` broadcast over ``a`` partitions the broadcast ``shape`` into one
+    basic-indexing slice per element of ``b`` — e.g. a ``(1, n, n, 1)``
+    cosine bank yields the ``n*n`` slices ``[:, r, k, :]``.  ``values`` is a
+    *view* of ``a`` broadcast into that slice; no full-size temporary is
+    materialised.
+    """
+    b_exp = b.reshape((1,) * (len(shape) - b.ndim) + b.shape)
+    a_view = np.broadcast_to(a, shape)
+    for index in np.ndindex(b_exp.shape):
+        slicer = tuple(
+            position if extent != 1 else slice(None)
+            for position, extent in zip(index, b_exp.shape))
+        yield slicer, int(b_exp[index]), a_view[slicer]
+
+
+def _bank_cell_shape(a: np.ndarray, b: np.ndarray,
+                     max_cells: int = _MAX_BANK_CELLS,
+                     cell_min: int = _BANK_CELL_MIN
+                     ) -> Optional[Tuple[int, ...]]:
+    """Broadcast shape when the cell-wise bank strategy applies, else None."""
+    if a.ndim == 0 or b.ndim == 0 or b.size == 0 or b.size > max_cells:
+        return None
+    shape = np.broadcast_shapes(a.shape, b.shape)
+    total = 1
+    for extent in shape:
+        total *= int(extent)
+    if total // b.size < cell_min:
+        return None
+    return shape
+
+
 class DirectBackend(ExecutionBackend):
-    """Bit-exact reference backend: every call runs the functional model."""
+    """Bit-exact reference backend: every call runs the functional model.
+
+    ``bank=True`` calls whose cells are large are evaluated one constant at
+    a time with a *scalar* partner — numerically the very sequence the
+    seed-style kernels issued, just without their per-call dispatch — which
+    keeps the bit-serial operator models on cache-sized slices.
+    """
 
     name = "direct"
 
     def execute(self, operator: Operator, a: np.ndarray,
-                b: np.ndarray) -> np.ndarray:
-        return np.asarray(operator.aligned(a, b), dtype=np.int64)
+                b: np.ndarray, bank: bool = False,
+                in_range: bool = False) -> np.ndarray:
+        if bank:
+            a_arr = np.asarray(a, dtype=np.int64)
+            b_arr = np.asarray(b, dtype=np.int64)
+            shape = _bank_cell_shape(a_arr, b_arr)
+            if shape is not None:
+                out = np.empty(shape, dtype=np.int64)
+                for slicer, constant, values in _bank_cells(a_arr, b_arr,
+                                                            shape):
+                    out[slicer] = operator.aligned(values, constant)
+                return out
+        return _functional(operator, a, b)
 
 
 # --------------------------------------------------------------------------- #
@@ -109,16 +207,64 @@ _VALUE_CHUNK_SHIFT = 10
 _PENDING_VALUE_KEYS: set = set()
 _MAX_PENDING_KEYS = 4096
 
+#: Number of resident right-constant value tables per (family, name): lets
+#: the coefficient-bank strategy bail out of a call in O(1) — before any
+#: per-constant key is built — when no table exists for the operator and no
+#: group is large enough to open one.
+_VALUE_TABLE_INDEX: Dict[Tuple[str, str], int] = {}
+
 
 def clear_table_cache() -> None:
     """Drop every cached LUT table (mainly for tests and benchmarks)."""
     _TABLE_CACHE.clear()
     _PENDING_VALUE_KEYS.clear()
+    _VALUE_TABLE_INDEX.clear()
+
+
+def _index_value_key(key: Tuple[object, ...], delta: int) -> None:
+    """Track a right-constant value table entering (+1) / leaving (-1)."""
+    if key[0] == "value" and key[3] == "right":
+        index_key = (key[1], key[2])
+        count = _VALUE_TABLE_INDEX.get(index_key, 0) + delta
+        if count > 0:
+            _VALUE_TABLE_INDEX[index_key] = count
+        else:
+            _VALUE_TABLE_INDEX.pop(index_key, None)
+
+
+def _note_value_key_sighting(key: Tuple[object, ...]) -> bool:
+    """Single admission policy for lazy value tables.
+
+    Returns ``True`` when ``key`` recurred (so a table may open now);
+    otherwise records this first sighting and returns ``False`` — recurring
+    constants (DCT coefficients, twiddles, filter taps) amortise a table,
+    one-shot constants (drifting K-means centroids) never earn one.
+    """
+    if key in _PENDING_VALUE_KEYS:
+        return True
+    if len(_PENDING_VALUE_KEYS) >= _MAX_PENDING_KEYS:
+        _PENDING_VALUE_KEYS.clear()
+    _PENDING_VALUE_KEYS.add(key)
+    return False
 
 
 def table_cache_size() -> int:
     """Number of tables currently cached process-wide."""
     return len(_TABLE_CACHE)
+
+
+def _scan_out_of_range(values: np.ndarray, lo: int, hi: int) -> bool:
+    """Whether any element falls outside ``[lo, hi]``, in one fused pass.
+
+    ``(v - lo) | (hi - v)`` is non-negative exactly when ``lo <= v <= hi``,
+    so a single OR-reduction carries the sign bit of every violation —
+    replacing the separate ``min()`` and ``max()`` reduction scans.  An
+    int64 overflow in either difference (operand near the int64 limits)
+    flips the sign bit and conservatively reports out-of-range, which only
+    sends the call to the bit-exact functional fallback.
+    """
+    return bool(int(np.bitwise_or.reduce((values - lo) | (hi - values),
+                                         axis=None)) < 0)
 
 
 def _cache_insert(key: Tuple[object, ...], value: object) -> object:
@@ -128,11 +274,15 @@ def _cache_insert(key: Tuple[object, ...], value: object) -> object:
         for candidate in list(_TABLE_CACHE):
             if candidate[0] == "value":
                 del _TABLE_CACHE[candidate]
+                _index_value_key(candidate, -1)
                 if len(_TABLE_CACHE) < _MAX_CACHED_TABLES:
                     break
         else:
-            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+            evicted = next(iter(_TABLE_CACHE))
+            _TABLE_CACHE.pop(evicted)
+            _index_value_key(evicted, -1)
     _TABLE_CACHE[key] = value
+    _index_value_key(key, +1)
     return value
 
 
@@ -153,26 +303,37 @@ class LutBackend(ExecutionBackend):
         opened.  Tiny calls (late FFT stages) cost less through the
         functional model than through the lazy-fill machinery; once a table
         exists, calls of any size gather from it.
+    max_bank_constants:
+        Largest number of unique constants for which the coefficient-bank
+        strategy groups a ``bank=True`` call.  Beyond it (late stages of a
+        very large FFT, where each twiddle covers only a couple of
+        butterflies) the whole call runs as one vectorised functional
+        evaluation instead.
     """
 
     name = "lut"
 
     def __init__(self, max_pair_width: int = 10,
                  max_value_width: int = 16,
-                 min_value_size: int = 256) -> None:
+                 min_value_size: int = 256,
+                 max_bank_constants: int = 128) -> None:
         if max_pair_width < 2:
             raise ValueError("max_pair_width must be at least 2")
         if max_value_width < 2:
             raise ValueError("max_value_width must be at least 2")
+        if max_bank_constants < 1:
+            raise ValueError("max_bank_constants must be at least 1")
         self.max_pair_width = int(max_pair_width)
         self.max_value_width = int(max_value_width)
         self.min_value_size = int(min_value_size)
+        self.max_bank_constants = int(max_bank_constants)
 
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
     def execute(self, operator: Operator, a: np.ndarray,
-                b: np.ndarray) -> np.ndarray:
+                b: np.ndarray, bank: bool = False,
+                in_range: bool = False) -> np.ndarray:
         a_arr = np.asarray(a, dtype=np.int64)
         b_arr = np.asarray(b, dtype=np.int64)
         if a_arr.ndim == 0 and b_arr.ndim == 0:
@@ -183,19 +344,24 @@ class LutBackend(ExecutionBackend):
                 and operator.input_width <= self.max_value_width:
             out = self._sum_lookup(operator, a_arr, b_arr)
         elif operator.input_width <= self.max_pair_width:
-            out = self._pair_lookup(operator, a_arr, b_arr)
+            out = self._pair_lookup(operator, a_arr, b_arr, in_range)
         elif operator.input_width <= self.max_value_width:
             if b_arr.ndim == 0:
-                out = self._value_lookup(operator, a_arr, int(b_arr), "right")
+                out = self._value_lookup(operator, a_arr, int(b_arr), "right",
+                                         in_range)
             elif a_arr.ndim == 0:
-                out = self._value_lookup(operator, b_arr, int(a_arr), "left")
+                out = self._value_lookup(operator, b_arr, int(a_arr), "left",
+                                         in_range)
             elif a is b:
-                out = self._value_lookup(operator, a_arr, None, "square")
+                out = self._value_lookup(operator, a_arr, None, "square",
+                                         in_range)
+            elif bank:
+                out = self._bank_lookup(operator, a_arr, b_arr, in_range)
         if out is not None:
             return out
         # No table strategy applies (wide operator, general operands, or
         # out-of-range stimulus): the functional model is the answer.
-        return np.asarray(operator.aligned(a_arr, b_arr), dtype=np.int64)
+        return _functional(operator, a_arr, b_arr)
 
     # ------------------------------------------------------------------ #
     # Strategies
@@ -221,12 +387,14 @@ class LutBackend(ExecutionBackend):
         return np.take(table, a + b, mode="wrap")
 
     def _pair_lookup(self, operator: Operator, a: np.ndarray,
-                     b: np.ndarray) -> Optional[np.ndarray]:
+                     b: np.ndarray, in_range: bool = False
+                     ) -> Optional[np.ndarray]:
         """Eager full truth table, flattened row-major over (a, b)."""
         lo, hi = operator.input_range()
-        for operand in (a, b):
-            if operand.size and (int(operand.min()) < lo or int(operand.max()) > hi):
-                return None
+        if not in_range:
+            for operand in (a, b):
+                if operand.size and _scan_out_of_range(operand, lo, hi):
+                    return None
         key = ("pair", operator.family, operator.name)
         table = _TABLE_CACHE.get(key)
         if table is None:
@@ -234,11 +402,21 @@ class LutBackend(ExecutionBackend):
             table = _cache_insert(
                 key, np.asarray(operator.aligned(all_a, all_b), dtype=np.int64))
         span = hi - lo + 1
-        return table[(a - lo) * span + (b - lo)]
+        # Two-dimensional indexing bounds-checks each operand separately, so
+        # a positive off-grid operand under a wrong in_range claim raises
+        # (and falls back) instead of flattening into a neighbouring table
+        # row; a negative overshoot reads an aliased entry, which the
+        # context contract disclaims for off-grid callers — the table is
+        # read-only, so shared state is never at risk.
+        try:
+            return table.reshape(span, span)[a - lo, b - lo]
+        except IndexError:
+            # Off-contract caller: degrade to the bit-exact functional model.
+            return None
 
     def _value_lookup(self, operator: Operator, values: np.ndarray,
-                      constant: Optional[int], side: str
-                      ) -> Optional[np.ndarray]:
+                      constant: Optional[int], side: str,
+                      in_range: bool = False) -> Optional[np.ndarray]:
         """Lazily-filled 1-D table over one variable operand.
 
         ``side`` is ``"right"`` / ``"left"`` for a constant second / first
@@ -250,19 +428,16 @@ class LutBackend(ExecutionBackend):
         lo, hi = operator.input_range()
         if values.size == 0:
             return np.asarray(operator.aligned(values, values), dtype=np.int64)
-        if int(values.min()) < lo or int(values.max()) > hi:
+        if not in_range and _scan_out_of_range(values, lo, hi):
             return None
         key = ("value", operator.family, operator.name, side, constant)
         entry = _TABLE_CACHE.get(key)
         if entry is None:
             if values.size < self.min_value_size:
                 return None
-            if key not in _PENDING_VALUE_KEYS:
+            if not _note_value_key_sighting(key):
                 # First sighting of this constant: stay on the functional
                 # model; only a recurring constant earns a table.
-                if len(_PENDING_VALUE_KEYS) >= _MAX_PENDING_KEYS:
-                    _PENDING_VALUE_KEYS.clear()
-                _PENDING_VALUE_KEYS.add(key)
                 return None
             _PENDING_VALUE_KEYS.discard(key)
             entry = _cache_insert(
@@ -270,14 +445,24 @@ class LutBackend(ExecutionBackend):
                       np.zeros(hi - lo + 1, dtype=bool), [0]))
         table, filled, miss_events = entry
         index = values - lo
-        missing = ~filled[index]
+        try:
+            missing = ~filled[index]
+        except IndexError:
+            # Off-contract operand under an in_range claim: degrade to the
+            # bit-exact functional model.
+            return None
         if missing.any():
+            observed = index[missing]
+            if int(observed.min()) < 0 or int(observed.max()) >= filled.shape[0]:
+                # Off-contract operands must never write through aliased
+                # indices into the shared tables; fail closed instead.
+                return None
             miss_events[0] += 1
             if miss_events[0] < 2:
                 # First fill: only the observed values — no dearer than one
                 # functional evaluation, which is all a table that is never
                 # missed again (a stable K-means centroid) will ever need.
-                fresh_index = np.unique(index[missing])
+                fresh_index = np.unique(observed)
             else:
                 # A table that keeps missing is hot with a drifting operand
                 # domain (DCT intermediates): fill whole chunks around the
@@ -285,7 +470,7 @@ class LutBackend(ExecutionBackend):
                 # an approximate operator's bit-level model dwarfs the extra
                 # elements per fill, and clustered operands make the
                 # pre-filled neighbourhood pay off.
-                chunks = np.unique(index[missing] >> _VALUE_CHUNK_SHIFT)
+                chunks = np.unique(observed >> _VALUE_CHUNK_SHIFT)
                 span = filled.shape[0]
                 fresh_index = np.concatenate([
                     np.arange(chunk << _VALUE_CHUNK_SHIFT,
@@ -304,6 +489,90 @@ class LutBackend(ExecutionBackend):
             table[fresh_index] = np.asarray(results, dtype=np.int64)
             filled[fresh_index] = True
         return table[index]
+
+    def _bank_lookup(self, operator: Operator, a: np.ndarray,
+                     b: np.ndarray, in_range: bool = False
+                     ) -> Optional[np.ndarray]:
+        """Coefficient-bank strategy: ``b`` is a small constant bank over ``a``.
+
+        One ``np.unique`` pass (over the *unbroadcast* bank, so an FFT
+        stage's ``(half, 1)`` twiddle column never materialises) finds the
+        constants; one stable ``np.argsort`` over the broadcast group ids
+        splits the elements; each group is then served from the same
+        per-constant value tables as the scalar-constant strategy — the
+        table a stage-fused kernel hits is the very table its seed-style
+        per-constant loop would have warmed.  Groups without a table are
+        evaluated together in a single functional call, so a bank call never
+        degenerates into a per-constant Python loop.
+        """
+        constants, inverse = np.unique(b, return_inverse=True)
+        if constants.size > self.max_bank_constants:
+            return None  # too fragmented: one vectorised functional call wins
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        if not constants.size:
+            return None  # empty bank: the functional fallback handles it
+        cell_shape = _bank_cell_shape(a, b, self.max_bank_constants,
+                                      self.min_value_size)
+        if cell_shape is not None:
+            # Large cells: serve each constant's slice directly — a table
+            # gather when one is (or becomes) resident, the scalar-partner
+            # functional model otherwise.  No flat argsort pass, no
+            # full-size temporaries.
+            out = np.empty(cell_shape, dtype=np.int64)
+            for slicer, constant, values in _bank_cells(a, b, cell_shape):
+                served = self._value_lookup(operator, values, constant,
+                                            "right", in_range)
+                out[slicer] = served if served is not None \
+                    else operator.aligned(values, constant)
+            return out
+        a_flat = np.broadcast_to(a, shape).ravel()
+        groups = np.broadcast_to(inverse.reshape(b.shape), shape).ravel()
+        counts = np.bincount(groups, minlength=constants.size)
+        has_tables = bool(
+            _VALUE_TABLE_INDEX.get((operator.family, operator.name), 0))
+        if not has_tables and int(counts.max(initial=0)) < self.min_value_size:
+            # O(1) bail-out: no table exists for this operator and no group
+            # is big enough to open one — run the whole call functionally.
+            return None
+        # Only groups with a resident table (or one about to open because
+        # the constant recurred) are worth a per-group gather; everything
+        # else joins one batched functional evaluation below.
+        prefix = ("value", operator.family, operator.name, "right")
+        candidates = range(constants.size) if has_tables else \
+            np.flatnonzero(counts >= self.min_value_size)
+        serveable = set()
+        for index in candidates:
+            key = prefix + (int(constants[index]),)
+            if key in _TABLE_CACHE:
+                serveable.add(int(index))
+            elif counts[index] >= self.min_value_size \
+                    and _note_value_key_sighting(key):
+                serveable.add(int(index))  # recurred: its table opens now
+        if not serveable:
+            return None
+        order = np.argsort(groups, kind="stable")
+        out = np.empty(a_flat.shape[0], dtype=np.int64)
+        leftover = []
+        start = 0
+        for index, (count, constant) in enumerate(zip(counts, constants)):
+            stop = start + int(count)
+            segment = order[start:stop]
+            start = stop
+            if not segment.size:
+                continue
+            served = self._value_lookup(operator, a_flat[segment],
+                                        int(constant), "right", in_range) \
+                if index in serveable else None
+            if served is None:
+                leftover.append(segment)
+            else:
+                out[segment] = served
+        if leftover:
+            rest = np.concatenate(leftover) if len(leftover) > 1 else leftover[0]
+            out[rest] = np.asarray(
+                operator.aligned(a_flat[rest], constants[groups[rest]]),
+                dtype=np.int64)
+        return out.reshape(shape)
 
 
 # --------------------------------------------------------------------------- #

@@ -19,6 +19,27 @@ Operands may be arrays or plain scalars; scalars are broadcast (and let the
 LUT backend use its constant-operand tables for DCT coefficients, FFT
 twiddles, HEVC filter taps and K-means centroids).  Operation counts always
 equal the broadcast element count, matching what the seed kernels recorded.
+
+Stage-fused kernels additionally pass ``bank=True`` when the second operand
+is a *coefficient bank* — a small set of constants broadcast over the data
+(one FFT stage's twiddles, a DCT pass's cosine rows, all taps of an HEVC
+phase, every K-means centroid) — which lets the LUT backend group the call
+by unique constant and serve each group from its per-constant tables.  The
+hint never changes results or counts; the direct backend evaluates the same
+signature bit-exactly.
+
+**Kernel contract:** every operand handed to :meth:`add` / :meth:`sub` /
+:meth:`mul` must live on the context's ``data_width`` grid (route
+intermediate values through :meth:`wrap`, as all application kernels do).
+The context forwards that guarantee to the backend (``in_range=True``
+whenever the operator's input width matches the datapath), which skips its
+operand range scans on the hot path; a call whose operands may leave the
+grid — the HEVC filter's second separable pass, whose first-pass
+intermediates can exceed the pixel range — withdraws the guarantee with
+``in_range=False``.  A wrong claim never corrupts the shared tables (writes
+are guarded and overshooting reads fail closed onto the functional model),
+but the violating call itself may receive values for aliased operands —
+pass ``in_range=False`` whenever the grid invariant is not certain.
 """
 from __future__ import annotations
 
@@ -109,17 +130,36 @@ class ApproxContext:
         self.counter = counter if counter is not None else OperationCounter()
         self._wrap_mask = np.int64((1 << self.data_width) - 1)
         self._wrap_sign = np.int64(1 << (self.data_width - 1))
+        # The kernel contract keeps operands on the data_width grid, so the
+        # backend may skip range scans whenever the operator consumes that
+        # exact width (see the module docstring).
+        self._adder_in_range = self.adder.input_width == self.data_width
+        self._multiplier_in_range = \
+            self.multiplier.input_width == self.data_width
 
     # ------------------------------------------------------------------ #
     # Instrumented arithmetic
     # ------------------------------------------------------------------ #
-    def add(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
-        """Aligned sum through the adder model; charges one add per element."""
-        self.counter.count_additions(_broadcast_count(a, b))
-        return np.asarray(self.backend.execute(self.adder, a, b),
-                          dtype=np.int64)
+    def add(self, a: ArrayLike, b: ArrayLike, bank: bool = False,
+            in_range: Optional[bool] = None) -> np.ndarray:
+        """Aligned sum through the adder model; charges one add per element.
 
-    def sub(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        ``bank=True`` flags ``b`` as a coefficient bank (a small constant
+        set broadcast over ``a``); results and counts are unaffected.
+        ``in_range=False`` withdraws the kernel-contract guarantee for this
+        call (a kernel whose operands may leave the datapath grid, like the
+        HEVC filter's second separable pass, must pass it).
+        """
+        self.counter.count_additions(_broadcast_count(a, b))
+        return np.asarray(
+            self.backend.execute(
+                self.adder, a, b, bank=bank,
+                in_range=self._adder_in_range if in_range is None
+                else bool(in_range)),
+            dtype=np.int64)
+
+    def sub(self, a: ArrayLike, b: ArrayLike, bank: bool = False,
+            in_range: Optional[bool] = None) -> np.ndarray:
         """Aligned difference: ``b`` is two's-complement negated, then added.
 
         Charged as one addition per element, exactly as the seed kernels
@@ -131,13 +171,24 @@ class ApproxContext:
             negated = np.asarray(
                 wrap_to_width(-np.asarray(b, dtype=np.int64), self.data_width),
                 dtype=np.int64)
-        return self.add(a, negated)
+        return self.add(a, negated, bank=bank, in_range=in_range)
 
-    def mul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
-        """Aligned product through the multiplier model; one mul per element."""
+    def mul(self, a: ArrayLike, b: ArrayLike, bank: bool = False,
+            in_range: Optional[bool] = None) -> np.ndarray:
+        """Aligned product through the multiplier model; one mul per element.
+
+        ``bank=True`` flags ``b`` as a coefficient bank (a small constant
+        set broadcast over ``a``); results and counts are unaffected.
+        ``in_range=False`` withdraws the kernel-contract guarantee for this
+        call, restoring the backend's operand scans.
+        """
         self.counter.count_multiplications(_broadcast_count(a, b))
-        return np.asarray(self.backend.execute(self.multiplier, a, b),
-                          dtype=np.int64)
+        return np.asarray(
+            self.backend.execute(
+                self.multiplier, a, b, bank=bank,
+                in_range=self._multiplier_in_range if in_range is None
+                else bool(in_range)),
+            dtype=np.int64)
 
     def wrap(self, value: ArrayLike) -> np.ndarray:
         """Wrap a value onto the context's datapath word length."""

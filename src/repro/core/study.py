@@ -316,10 +316,12 @@ class Study:
             return [_execute_point(task) for task in tasks]
         try:
             from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-
+        except ImportError:
+            return [_execute_point(task) for task in tasks]
+        try:
             with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
                 return list(pool.map(_execute_point, tasks))
-        except (OSError, PermissionError, ImportError, BrokenExecutor):
+        except (OSError, BrokenExecutor):
             # Restricted environments (no process spawning / semaphores):
             # fall back to the serial path, which is result-identical.
             return [_execute_point(task) for task in tasks]

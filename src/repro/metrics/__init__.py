@@ -10,6 +10,7 @@ from .clustering import confusion_matrix, match_labels, success_rate
 from .error import (
     ErrorReport,
     bias,
+    bit_error_metrics,
     bit_error_rate,
     characterize_error,
     error_rate,
@@ -32,6 +33,7 @@ __all__ = [
     "bias",
     "error_rate",
     "mean_relative_error",
+    "bit_error_metrics",
     "bit_error_rate",
     "positional_bit_error_rate",
     "AcceptanceCurve",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -121,20 +121,32 @@ def mean_relative_error(reference: np.ndarray, error: np.ndarray) -> float:
     return float(np.mean(err[nonzero] / ref[nonzero]))
 
 
+def bit_error_metrics(reference: np.ndarray, approximate: np.ndarray,
+                      width: int) -> Tuple[float, np.ndarray]:
+    """BER and positional BER from one shared XOR diff and bit expansion.
+
+    The two metrics are views of the same ``samples x width`` bit matrix —
+    computing the matrix once halves the dominant cost of the bit-level
+    characterisation.  Returns ``(ber, positional_ber)`` where the scalar
+    equals ``np.mean`` of the matrix and the vector is its per-column mean
+    (LSB first), exactly as the separate functions compute them.
+    """
+    diff = to_unsigned(reference, width) ^ to_unsigned(approximate, width)
+    bits = bit_matrix(diff, width)
+    positional = np.asarray(np.mean(bits, axis=0), dtype=np.float64)
+    return float(np.mean(bits)), positional
+
+
 def bit_error_rate(reference: np.ndarray, approximate: np.ndarray,
                    width: int) -> float:
     """Average fraction of differing bits over ``width``-bit outputs."""
-    diff = to_unsigned(reference, width) ^ to_unsigned(approximate, width)
-    bits = bit_matrix(diff, width)
-    return float(np.mean(bits))
+    return bit_error_metrics(reference, approximate, width)[0]
 
 
 def positional_bit_error_rate(reference: np.ndarray, approximate: np.ndarray,
                               width: int) -> np.ndarray:
     """Per-bit-position error probability (LSB first)."""
-    diff = to_unsigned(reference, width) ^ to_unsigned(approximate, width)
-    bits = bit_matrix(diff, width)
-    return np.asarray(np.mean(bits, axis=0), dtype=np.float64)
+    return bit_error_metrics(reference, approximate, width)[1]
 
 
 def characterize_error(operator: Operator, samples: int = 100_000,
@@ -162,6 +174,7 @@ def characterize_error(operator: Operator, samples: int = 100_000,
     error = reference - aligned
     normalized = error.astype(np.float64) * operator.result_lsb_weight
     width = operator.reference_width
+    ber, positional_ber = bit_error_metrics(reference, aligned, width)
 
     return ErrorReport(
         operator=operator.name,
@@ -174,7 +187,7 @@ def characterize_error(operator: Operator, samples: int = 100_000,
         min_error=float(np.min(normalized)),
         error_rate=error_rate(error),
         mean_relative_error=mean_relative_error(reference, error),
-        ber=bit_error_rate(reference, aligned, width),
-        positional_ber=positional_bit_error_rate(reference, aligned, width),
+        ber=ber,
+        positional_ber=positional_ber,
         params=dict(operator.params),
     )

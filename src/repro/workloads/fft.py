@@ -36,12 +36,16 @@ class FftWorkload(Workload):
     data_width: int = 16
     frames: int = 8
     amplitude: float = 0.5
+    #: ``False`` replays the seed-style per-twiddle loops (bit-identical;
+    #: kept for equivalence tests and as the benchmark baseline).
+    fused: bool = True
 
     name = "fft"
 
     def default_config(self) -> Dict[str, object]:
         return {"size": self.size, "data_width": self.data_width,
-                "frames": self.frames, "amplitude": self.amplitude}
+                "frames": self.frames, "amplitude": self.amplitude,
+                "fused": self.fused}
 
     def run(self, operators: OperatorMap, config: Mapping[str, object],
             rng: np.random.Generator) -> WorkloadResult:
@@ -52,7 +56,8 @@ class FftWorkload(Workload):
                                      seed=base_seed + frame)
                    for frame in range(int(config["frames"]))]
         fft = FixedPointFFT(size, width,
-                            context=operators.context(data_width=width))
+                            context=operators.context(data_width=width),
+                            fused=bool(config["fused"]))
         psnr = fft_output_psnr(fft, signals)
         return WorkloadResult(metrics={"psnr_db": psnr},
                               counts=fft.operation_counts())

@@ -26,12 +26,16 @@ class HevcWorkload(Workload):
     horizontal_phase: int = 2
     vertical_phase: int = 2
     image: Optional[np.ndarray] = None
+    #: ``False`` replays the seed-style per-tap loops (bit-identical;
+    #: kept for equivalence tests and benchmarks).
+    fused: bool = True
 
     name = "hevc"
 
     def default_config(self) -> Dict[str, object]:
         return {"size": self.size, "horizontal_phase": self.horizontal_phase,
-                "vertical_phase": self.vertical_phase, "image": self.image}
+                "vertical_phase": self.vertical_phase, "image": self.image,
+                "fused": self.fused}
 
     def run(self, operators: OperatorMap, config: Mapping[str, object],
             rng: np.random.Generator) -> WorkloadResult:
@@ -41,6 +45,7 @@ class HevcWorkload(Workload):
         score, counts = mc_quality_score(
             image, context=operators.context(),
             horizontal_phase=int(config["horizontal_phase"]),
-            vertical_phase=int(config["vertical_phase"]))
+            vertical_phase=int(config["vertical_phase"]),
+            fused=bool(config["fused"]))
         return WorkloadResult(metrics={"mssim": score}, counts=counts,
                               details={"image_pixels": int(image.size)})

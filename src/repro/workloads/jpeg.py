@@ -46,12 +46,16 @@ class JpegWorkload(Workload):
     quality: int = 90
     frames: int = 1
     image: Optional[np.ndarray] = None
+    #: ``False`` replays the seed-style per-coefficient DCT loops
+    #: (bit-identical; kept for equivalence tests and benchmarks).
+    fused: bool = True
 
     name = "jpeg"
 
     def default_config(self) -> Dict[str, object]:
         return {"size": self.size, "quality": self.quality,
-                "frames": self.frames, "image": self.image}
+                "frames": self.frames, "image": self.image,
+                "fused": self.fused}
 
     def run(self, operators: OperatorMap, config: Mapping[str, object],
             rng: np.random.Generator) -> WorkloadResult:
@@ -59,7 +63,8 @@ class JpegWorkload(Workload):
         frames = max(1, int(config["frames"]))
         base_seed = int(config.get("seed", 0))
         fixed_image = config.get("image")
-        encoder = JpegEncoder(quality=quality, context=operators.context())
+        encoder = JpegEncoder(quality=quality, context=operators.context(),
+                              fused=bool(config["fused"]))
 
         scores = []
         total_bits = 0

@@ -25,13 +25,16 @@ class KmeansWorkload(Workload):
     clusters: int = 10
     iterations: int = 8
     clouds: Optional[Tuple[PointCloud, ...]] = None
+    #: ``False`` replays the seed-style per-centroid loops (bit-identical;
+    #: kept for equivalence tests and benchmarks).
+    fused: bool = True
 
     name = "kmeans"
 
     def default_config(self) -> Dict[str, object]:
         return {"runs": self.runs, "points_per_run": self.points_per_run,
                 "clusters": self.clusters, "iterations": self.iterations,
-                "clouds": self.clouds}
+                "clouds": self.clouds, "fused": self.fused}
 
     def run(self, operators: OperatorMap, config: Mapping[str, object],
             rng: np.random.Generator) -> WorkloadResult:
@@ -47,7 +50,8 @@ class KmeansWorkload(Workload):
         for cloud in clouds:
             rate, run_counts = kmeans_success_rate(
                 cloud, context=operators.context(),
-                iterations=int(config["iterations"]))
+                iterations=int(config["iterations"]),
+                fused=bool(config["fused"]))
             rates.append(rate)
             counts = run_counts
         return WorkloadResult(

@@ -175,6 +175,126 @@ class TestLutEquivalence(object):
         assert np.array_equal(backend.execute(operator, values, 9), direct)
         assert table_cache_size() == 0  # tiny calls do not open tables
 
+    def test_bank_lookup_matches_direct(self):
+        """A coefficient bank broadcast over data is served bit-exactly."""
+        clear_table_cache()
+        operator = parse_operator("MULt(16,16)")
+        rng = np.random.default_rng(11)
+        a = rng.integers(-32768, 32768, size=(2000, 1), dtype=np.int64)
+        bank = np.array([[5, -77, 1234]], dtype=np.int64)
+        direct = DirectBackend().execute(operator, a, bank, bank=True)
+        lut = LutBackend()
+        # First call: functional (constants unseen); second call: the bank
+        # groups gather from the tables the first call earned.
+        assert np.array_equal(direct, lut.execute(operator, a, bank, bank=True))
+        assert np.array_equal(direct, lut.execute(operator, a, bank, bank=True))
+        assert table_cache_size() == 3  # one value table per bank constant
+
+    def test_bank_tables_shared_with_scalar_constant_path(self):
+        """Bank groups hit the very tables seed-style scalar calls warmed."""
+        clear_table_cache()
+        operator = parse_operator("AAM(16)")
+        rng = np.random.default_rng(12)
+        values = rng.integers(-32768, 32768, size=600, dtype=np.int64)
+        backend = LutBackend(min_value_size=1)
+        for _ in range(2):  # scalar path: warm the per-constant tables
+            backend.execute(operator, values, 99)
+            backend.execute(operator, values, -3)
+        warmed = table_cache_size()
+        a = values[:, np.newaxis]
+        bank = np.array([[99, -3]], dtype=np.int64)
+        direct = DirectBackend().execute(operator, a, bank, bank=True)
+        assert np.array_equal(direct, backend.execute(operator, a, bank,
+                                                      bank=True))
+        assert table_cache_size() == warmed  # no new tables: reused
+
+    def test_bank_with_many_constants_falls_back(self):
+        """A fragmented bank (one constant per element) is not grouped."""
+        clear_table_cache()
+        operator = parse_operator("MULt(16,16)")
+        rng = np.random.default_rng(13)
+        a = rng.integers(-32768, 32768, size=512, dtype=np.int64)
+        bank = np.arange(512, dtype=np.int64)  # > max_bank_constants
+        backend = LutBackend(max_bank_constants=128)
+        direct = DirectBackend().execute(operator, a, bank, bank=True)
+        assert np.array_equal(direct, backend.execute(operator, a, bank,
+                                                      bank=True))
+        assert table_cache_size() == 0
+
+    def test_bank_hint_never_changes_results_for_adders(self):
+        """Approximate adders under a bank hint stay bit-exact (no sum table)."""
+        clear_table_cache()
+        operator = parse_operator("ETAII(16,4)")
+        rng = np.random.default_rng(14)
+        a = rng.integers(-32768, 32768, size=(400, 1), dtype=np.int64)
+        bank = np.array([[100, -200, 300, -400]], dtype=np.int64)
+        direct = DirectBackend().execute(operator, a, bank, bank=True)
+        backend = LutBackend(min_value_size=1)
+        for _ in range(3):
+            assert np.array_equal(direct,
+                                  backend.execute(operator, a, bank, bank=True))
+
+    def test_in_range_hint_preserves_results(self):
+        """The in_range scan skip returns the same values as the scanning path."""
+        clear_table_cache()
+        operator = parse_operator("BOOTH(16)")
+        rng = np.random.default_rng(15)
+        a = rng.integers(-32768, 32768, size=1000, dtype=np.int64)
+        backend = LutBackend(min_value_size=1)
+        checked = [backend.execute(operator, a, 321, in_range=False)
+                   for _ in range(2)]
+        clear_table_cache()
+        trusted = [backend.execute(operator, a, 321, in_range=True)
+                   for _ in range(2)]
+        for lhs, rhs in zip(checked, trusted):
+            assert np.array_equal(lhs, rhs)
+
+    def test_wrong_in_range_claim_fails_closed(self):
+        """Off-grid operands under a false in_range claim never poison tables.
+
+        The documented contract: a violating call may itself receive values
+        for aliased operands, but the shared tables are never written
+        through aliased indices — compliant callers stay bit-exact — and
+        positive overshoots fail closed onto the functional model.
+        """
+        clear_table_cache()
+        operator = parse_operator("MULt(16,16)")
+        backend = LutBackend(min_value_size=1)
+        good = np.full(400, 25536, dtype=np.int64)
+        for _ in range(2):  # open and fill the constant-7 table
+            backend.execute(operator, good, 7, in_range=True)
+        bad_positive = np.full(400, 40000, dtype=np.int64)
+        assert np.array_equal(
+            DirectBackend().execute(operator, bad_positive, 7),
+            backend.execute(operator, bad_positive, 7, in_range=True))
+        # A negative overshoot (fill-guarded) must not write into the table:
+        backend.execute(operator, np.full(400, -40000, dtype=np.int64), 7,
+                        in_range=True)
+        # ... so the compliant path still serves bit-exactly afterwards.
+        assert np.array_equal(
+            DirectBackend().execute(operator, good, 7),
+            backend.execute(operator, good, 7, in_range=True))
+
+    def test_pair_lookup_bounds_checked_per_operand(self):
+        """An off-grid pair operand cannot flatten-alias into another row."""
+        clear_table_cache()
+        operator = parse_operator("MUL(8)")
+        a = np.full(50, -128, dtype=np.int64)
+        b = np.full(50, 128, dtype=np.int64)  # one past the 8-bit grid
+        direct = DirectBackend().execute(operator, a, b)
+        assert np.array_equal(
+            direct, LutBackend().execute(operator, a, b, in_range=True))
+
+    def test_out_of_range_operands_still_fall_back(self):
+        """Without the hint, out-of-range stimulus uses the functional model."""
+        clear_table_cache()
+        operator = parse_operator("MULt(8,8)")
+        values = np.array([1000, -4000, 3], dtype=np.int64)  # beyond 8-bit
+        direct = DirectBackend().execute(operator, values, 5)
+        lut = LutBackend(min_value_size=1).execute(operator, values, 5)
+        assert np.array_equal(direct, lut)
+        assert table_cache_size() == 0
+
     def test_cache_shared_across_backend_instances(self):
         clear_table_cache()
         operator = parse_operator("ADDt(16,10)")
