@@ -27,10 +27,13 @@ Run with::
 
     PYTHONPATH=src python benchmarks/perf_bench.py [--output BENCH_perf.json]
 
-``--check`` reads the *recorded* ``floor_speedup`` of each study from the
-baseline JSON (``--baseline``, defaulting to the output path before it is
-overwritten) and exits non-zero if any measured cold LUT speedup regresses
-below its floor — the regression gate the CI workflow runs on every push.
+``--check`` reads the *recorded* floors of each study from the baseline JSON
+(``--baseline``, defaulting to the output path before it is overwritten) and
+exits non-zero on any regression: ``floor_speedup`` gates the cold LUT
+speedup and ``fusion_floor`` gates the stage-fused direct speedup (see the
+``STUDIES`` table for why jpeg16's fusion floor documents a parity tolerance
+rather than a required win).  This is the regression gate the CI workflow
+runs on every push.
 """
 from __future__ import annotations
 
@@ -45,7 +48,16 @@ from repro import Study, __version__
 from repro.core import clear_table_cache
 
 #: The benchmarked studies: name -> (workload spec, sweep axis, operator
-#: specs, conservative speedup floor enforced by ``--check``).
+#: specs, conservative speedup floors enforced by ``--check``).
+#:
+#: ``floor_speedup`` gates the cold LUT speedup over the pre-fusion direct
+#: reference.  ``fusion_floor`` gates ``fusion_speedup`` (stage-fused direct
+#: over the seed-style loops): the FFT studies are dispatch-bound, so fusion
+#: must stay a multiple; the jpeg16 study is bound by the bit-serial
+#: multiplier models themselves (profiling shows >85 % of its direct wall
+#: clock inside AAM/ABM/Booth ``compute``), so fusion can only reach parity
+#: there — its floor documents the accepted tolerance band around 1.0x
+#: rather than a required win.
 STUDIES = {
     "jpeg16": {
         "workload": "jpeg(size=192, quality=90, frames=10)",
@@ -54,6 +66,7 @@ STUDIES = {
         "description": "16-bit JPEG study: DCT multiplier comparison over a "
                        "10-frame synthetic sequence",
         "floor_speedup": 2.0,
+        "fusion_floor": 0.9,
     },
     "fft16": {
         "workload": "fft(1024, frames=2)",
@@ -63,6 +76,7 @@ STUDIES = {
         "description": "16-bit FFT-1024 study: data-sized adder sweep, "
                        "stage-fused",
         "floor_speedup": 3.0,
+        "fusion_floor": 3.0,
     },
     "fft2048_fused": {
         "workload": "fft(2048, frames=2)",
@@ -71,6 +85,7 @@ STUDIES = {
         "description": "16-bit FFT-2048 study: stage-fused adder sweep at "
                        "scale",
         "floor_speedup": 3.0,
+        "fusion_floor": 3.0,
     },
 }
 
@@ -117,6 +132,7 @@ def bench_study(name: str, spec: dict) -> dict:
         "speedup_warm": round(direct_s / lut_warm_s, 2),
         "fusion_speedup": round(direct_s / direct_fused_s, 2),
         "floor_speedup": spec["floor_speedup"],
+        "fusion_floor": spec["fusion_floor"],
         "identical_records": identical,
     }
     print(f"{name}: direct {direct_s:6.2f}s | fused {direct_fused_s:6.2f}s "
@@ -127,12 +143,25 @@ def bench_study(name: str, spec: dict) -> dict:
 
 
 def load_floors(path: Path) -> dict:
-    """Recorded per-study speedup floors from an earlier BENCH_perf.json."""
+    """Recorded per-study speedup floors from an earlier BENCH_perf.json.
+
+    Returns ``{study: {metric: floor}}`` where ``metric`` is the measured
+    field the floor gates (``speedup_cold`` for ``floor_speedup``,
+    ``fusion_speedup`` for ``fusion_floor``).
+    """
     if not path.exists():
         return {}
     recorded = json.loads(path.read_text()).get("studies", {})
-    return {name: study["floor_speedup"] for name, study in recorded.items()
-            if "floor_speedup" in study}
+    floors = {}
+    for name, study in recorded.items():
+        gates = {}
+        if "floor_speedup" in study:
+            gates["speedup_cold"] = study["floor_speedup"]
+        if "fusion_floor" in study:
+            gates["fusion_speedup"] = study["fusion_floor"]
+        if gates:
+            floors[name] = gates
+    return floors
 
 
 def main(argv=None) -> int:
@@ -173,7 +202,7 @@ def main(argv=None) -> int:
                   f"{args.baseline or args.output}; the regression gate "
                   f"has nothing to enforce", file=sys.stderr)
             failed = True
-        for name, floor in floors.items():
+        for name, gates in floors.items():
             study = payload["studies"].get(name)
             if study is None:
                 print(f"FAIL: baseline floor for {name!r} matches no "
@@ -181,12 +210,13 @@ def main(argv=None) -> int:
                       file=sys.stderr)
                 failed = True
                 continue
-            measured = study["speedup_cold"]
-            if measured < floor:
-                print(f"FAIL: {name} cold speedup {measured:.2f}x regressed "
-                      f"below the recorded floor {floor:.2f}x",
-                      file=sys.stderr)
-                failed = True
+            for metric, floor in gates.items():
+                measured = study[metric]
+                if measured < floor:
+                    print(f"FAIL: {name} {metric} {measured:.2f}x regressed "
+                          f"below the recorded floor {floor:.2f}x",
+                          file=sys.stderr)
+                    failed = True
 
     jpeg_speedup = payload["studies"]["jpeg16"]["speedup_cold"]
     if args.min_jpeg_speedup and jpeg_speedup < args.min_jpeg_speedup:

@@ -35,34 +35,44 @@ from .core import (
     ApproxContext,
     Apxperf,
     DatapathEnergyModel,
+    DesignPoint,
+    DesignSpace,
     DirectBackend,
     ExecutionBackend,
     ExperimentResult,
     LutBackend,
     OperatorCharacterization,
+    ParetoFront,
     ResultBundle,
+    ResultStore,
     Study,
+    joint_adder_space,
     parse_backend,
     parse_operator,
     register_backend,
 )
 from .workloads import Workload, WorkloadResult, parse_workload, register_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ApproxContext",
     "Apxperf",
     "OperatorCharacterization",
     "DatapathEnergyModel",
+    "DesignPoint",
+    "DesignSpace",
     "ExecutionBackend",
     "DirectBackend",
     "LutBackend",
     "ExperimentResult",
+    "ParetoFront",
     "ResultBundle",
+    "ResultStore",
     "Study",
     "Workload",
     "WorkloadResult",
+    "joint_adder_space",
     "parse_backend",
     "parse_operator",
     "register_backend",

@@ -37,14 +37,23 @@ def dct_matrix(block_size: int = BLOCK_SIZE) -> np.ndarray:
 
 
 class FixedPointDCT:
-    """8x8 DCT / inverse DCT on 16-bit fixed-point data with a swappable context.
+    """8x8 DCT / inverse DCT on fixed-point data with a swappable context.
 
-    Level-shifted pixels are represented as Q10.5 codes (five fractional
-    bits): the 2-D DCT of an 8x8 block of values in ``[-128, 127]`` stays
-    within ``[-1024, 1016]``, so the representation uses the full 16-bit
-    datapath without overflowing while keeping sub-pixel resolution.  The
-    cosine coefficients are Q1.14; products are re-aligned to the data grid
-    after each multiplication and accumulations run through the adder model.
+    On the default 16-bit datapath, level-shifted pixels are represented as
+    Q10.5 codes (five fractional bits): the 2-D DCT of an 8x8 block of
+    values in ``[-128, 127]`` stays within ``[-1024, 1016]``, so the
+    representation uses the full 16-bit datapath without overflowing while
+    keeping sub-pixel resolution.  The cosine coefficients are Q1.14;
+    products are re-aligned to the data grid after each multiplication and
+    accumulations run through the adder model.
+
+    Narrower word lengths (the design-space word-length axis) shrink both
+    alignments with the datapath — pixels keep ``data_width - 11``
+    fractional bits (the 11-bit DCT dynamic range is preserved down to
+    11-bit words, below which the transform saturates its range and quality
+    collapses, as a real undersized datapath would), and coefficients keep
+    ``data_width - 2`` fractional bits.  At 16 bits both reduce to the
+    paper's Q10.5 / Q1.14 exactly.
     """
 
     def __init__(self, data_width: int = 16,
@@ -61,8 +70,8 @@ class FixedPointDCT:
         self.fused = bool(fused)
         self.context = context
         self.data_width = context.data_width
-        self.pixel_frac_bits = 5
-        self.coeff_frac_bits = 14
+        self.pixel_frac_bits = max(0, self.data_width - 11)
+        self.coeff_frac_bits = max(2, self.data_width - 2)
         basis = dct_matrix(block_size)
         self._coeffs = np.round(basis * (1 << self.coeff_frac_bits)).astype(np.int64)
         self._basis_float = basis
@@ -90,18 +99,22 @@ class FixedPointDCT:
         ctx = self.context
         blocks, n, columns = data.shape
         if self.fused:
-            # Stage-fused: all n*n coefficient products in one banked call,
-            # then one batched accumulation per dot-product step.  Each
-            # output row r accumulates term k = 0..n-1 in the same order as
-            # the seed loop, so results are bit-identical.
-            operands = np.broadcast_to(data[:, np.newaxis, :, :],
-                                       (blocks, n, n, columns))
-            bank = coeffs[np.newaxis, :, :, np.newaxis]
-            products = ctx.mul(operands, bank, bank=True)
-            terms = ctx.wrap(products >> self.coeff_frac_bits)
+            # Stage-fused: one banked call per dot-product step — data row k
+            # against coefficient column k (every output row at once) —
+            # followed by one batched accumulation.  Each output row r
+            # accumulates term k = 0..n-1 in the same order as the seed
+            # loop, so results are bit-identical.  Working one step at a
+            # time keeps the products / terms / accumulator working set
+            # cache-resident; the earlier all-steps-in-one-call shape
+            # materialised an n-times-larger products array whose wrap and
+            # accumulation passes streamed from main memory.
             accumulator = np.zeros((blocks, n, columns), dtype=np.int64)
             for k in range(n):
-                accumulator = ctx.add(accumulator, terms[:, :, k, :])
+                operands = data[:, np.newaxis, k, :]
+                bank = coeffs[np.newaxis, :, k, np.newaxis]
+                products = ctx.mul(operands, bank, bank=True)
+                term = ctx.wrap(products >> self.coeff_frac_bits)
+                accumulator = ctx.add(accumulator, term)
             return accumulator
         result = np.zeros_like(data)
         for r in range(n):

@@ -85,25 +85,46 @@ class MotionCompensationFilter:
     # ------------------------------------------------------------------ #
     # Instrumented arithmetic
     # ------------------------------------------------------------------ #
-    #: Left-alignment applied to pixels (8-bit) and coefficients (signed 8-bit)
-    #: so the 16x16 multiplier operands use the full datapath range, as a
-    #: sized fixed-point implementation would.
-    _PIXEL_SHIFT = 7
-    _COEFF_SHIFT = 8
+    @property
+    def _input_shift(self) -> int:
+        """LSBs dropped from the 8-bit pixels on a narrow datapath.
+
+        The per-tap terms ``pixel * coefficient`` span ~15 bits, so a
+        datapath narrower than 16 bits cannot carry full-precision pixels
+        without wrapping; a sized implementation quantises the input
+        instead.  Zero on the default 16-bit datapath.
+        """
+        return max(0, 16 - self.data_width)
+
+    @property
+    def _pixel_shift(self) -> int:
+        """Left-alignment of the (quantised) pixels onto the datapath grid.
+
+        Seven bits on the default 16-bit datapath; narrower word lengths
+        (the design-space word-length axis) shrink the alignment — and with
+        it the precision headroom — exactly as a sized implementation
+        would.
+        """
+        return max(0, self.data_width - 9)
+
+    @property
+    def _coeff_shift(self) -> int:
+        """Left-alignment of the signed 8-bit filter coefficients."""
+        return max(0, self.data_width - 8)
 
     def _mac(self, accumulator: np.ndarray, samples: np.ndarray,
              coefficient: int) -> np.ndarray:
         if coefficient == 0:
             return accumulator
         ctx = self.context
-        scaled_samples = np.asarray(samples, dtype=np.int64) << self._PIXEL_SHIFT
+        scaled_samples = np.asarray(samples, dtype=np.int64) << self._pixel_shift
         # in_range=False: second-pass samples are first-pass intermediates,
         # which may overshoot the pixel range (and thus the datapath grid).
-        product = ctx.mul(scaled_samples, int(coefficient) << self._COEFF_SHIFT,
+        product = ctx.mul(scaled_samples, int(coefficient) << self._coeff_shift,
                           in_range=False)
         # Re-align the product to plain pixel*coefficient units; the HEVC
         # intermediate values then fit the 16-bit accumulation by design.
-        term = ctx.wrap(product >> (self._PIXEL_SHIFT + self._COEFF_SHIFT))
+        term = ctx.wrap(product >> (self._pixel_shift + self._coeff_shift))
         return ctx.add(accumulator, term)
 
     def _filter_axis(self, image: np.ndarray, taps: Tuple[int, ...],
@@ -132,15 +153,15 @@ class MotionCompensationFilter:
                 return accumulator >> FILTER_SHIFT
             ctx = self.context
             stacked = np.stack([window(index) for index, _ in active])
-            bank = np.asarray([coefficient << self._COEFF_SHIFT
+            bank = np.asarray([coefficient << self._coeff_shift
                                for _, coefficient in active],
                               dtype=np.int64).reshape(-1, 1, 1)
             # in_range=False: second-pass samples are first-pass
             # intermediates, which may overshoot the pixel range (and thus
             # the datapath grid).
-            products = ctx.mul(stacked << self._PIXEL_SHIFT, bank, bank=True,
+            products = ctx.mul(stacked << self._pixel_shift, bank, bank=True,
                                in_range=False)
-            terms = ctx.wrap(products >> (self._PIXEL_SHIFT + self._COEFF_SHIFT))
+            terms = ctx.wrap(products >> (self._pixel_shift + self._coeff_shift))
             for tap in range(len(active)):
                 accumulator = ctx.add(accumulator, terms[tap])
             return accumulator >> FILTER_SHIFT
@@ -157,7 +178,10 @@ class MotionCompensationFilter:
         if horizontal_phase not in LUMA_FILTERS or vertical_phase not in LUMA_FILTERS:
             raise ValueError("phases must be one of the quarter-pel positions 0..3")
         start = self.context.counts
-        samples = np.asarray(image, dtype=np.int64)
+        # A narrow datapath quantises the input pixels onto its grid (the
+        # word-length axis quality cost); the default 16-bit width keeps
+        # them untouched.
+        samples = np.asarray(image, dtype=np.int64) >> self._input_shift
 
         result = samples
         if horizontal_phase != 0:
@@ -166,15 +190,27 @@ class MotionCompensationFilter:
         if vertical_phase != 0:
             result = self._filter_axis(result, LUMA_FILTERS[vertical_phase],
                                        axis=0)
-        clipped = np.clip(result, 0, 255)
+        clipped = np.clip(result << self._input_shift, 0, 255)
         return McFilterResult(interpolated=clipped,
                               counts=self.context.counts_since(start))
 
     def reference_interpolate(self, image: np.ndarray, horizontal_phase: int = 2,
-                              vertical_phase: int = 2) -> np.ndarray:
-        """Exact integer reference of the same interpolation."""
+                              vertical_phase: int = 2,
+                              reference_width: Optional[int] = None
+                              ) -> np.ndarray:
+        """Exact integer reference of the same interpolation.
+
+        ``reference_width`` selects the word length of the reference
+        datapath; it defaults to this filter's own width (the paper's
+        iso-width comparison).  Word-length studies pass the full 16-bit
+        width so an undersized exact datapath shows its own quality cost.
+        """
+        width = self.data_width if reference_width is None \
+            else int(reference_width)
         exact = MotionCompensationFilter(
-            self.data_width, context=self.context.exact_reference(),
+            width,
+            context=ApproxContext(data_width=width,
+                                  backend=self.context.backend),
             fused=self.fused)
         return exact.interpolate(image, horizontal_phase, vertical_phase).interpolated
 
@@ -182,13 +218,22 @@ class MotionCompensationFilter:
 def mc_quality_score(image: np.ndarray,
                      context: Optional[ApproxContext] = None,
                      horizontal_phase: int = 2, vertical_phase: int = 2,
-                     fused: bool = True) -> Tuple[float, OperationCounts]:
-    """MSSIM of the approximate MC filter output against the exact one."""
-    mc = MotionCompensationFilter(
-        context=context if context is not None else ApproxContext(),
-        fused=fused)
+                     fused: bool = True,
+                     reference_width: Optional[int] = None
+                     ) -> Tuple[float, OperationCounts]:
+    """MSSIM of the approximate MC filter output against the exact one.
+
+    ``reference_width`` (default: the context's own word length) sets the
+    datapath width of the exact reference — see
+    :meth:`MotionCompensationFilter.reference_interpolate`.
+    """
+    ctx = context if context is not None else ApproxContext()
+    mc = MotionCompensationFilter(data_width=ctx.data_width, context=ctx,
+                                  fused=fused)
     approx = mc.interpolate(image, horizontal_phase, vertical_phase)
-    reference = mc.reference_interpolate(image, horizontal_phase, vertical_phase)
+    reference = mc.reference_interpolate(image, horizontal_phase,
+                                         vertical_phase,
+                                         reference_width=reference_width)
     score = mssim(reference.astype(np.float64),
                   approx.interpolated.astype(np.float64))
     return score, approx.counts

@@ -173,13 +173,16 @@ def kmeans_success_rate(cloud: PointCloud,
     arithmetic of the distance computation.
     """
     candidate_context = context if context is not None else ApproxContext()
+    width = candidate_context.data_width
     clusters = cloud.centers.shape[0]
-    exact = FixedPointKMeans(clusters=clusters, iterations=iterations,
+    exact = FixedPointKMeans(clusters=clusters, data_width=width,
+                             iterations=iterations,
                              context=candidate_context.exact_reference(),
                              fused=fused)
     reference_labels, _, _ = exact.fit(cloud.points, cloud.centers)
 
-    candidate = FixedPointKMeans(clusters=clusters, iterations=iterations,
+    candidate = FixedPointKMeans(clusters=clusters, data_width=width,
+                                 iterations=iterations,
                                  context=candidate_context, fused=fused)
     labels, _, counts = candidate.fit(cloud.points, cloud.centers)
     return success_rate(reference_labels, labels, clusters=clusters), counts

@@ -22,6 +22,7 @@ from ..hardware.synthesis import characterize_hardware
 from ..operators.adders import TruncatedAdder
 from ..operators.base import AdderOperator, MultiplierOperator, Operator
 from ..operators.multipliers import TruncatedMultiplier
+from .store import ResultStore
 
 
 @dataclass
@@ -108,16 +109,47 @@ class DatapathEnergyModel:
     #: (e.g. interpolation filter taps): a constant-coefficient multiplier is
     #: substantially cheaper than a general one.
     constant_coefficient_factor: float = 0.5
+    #: Optional persistent store: characterisations found there skip
+    #: synthesis entirely, and fresh ones are written back, so repeated
+    #: explorations across sessions share one hardware cache on disk.
+    store: Optional[ResultStore] = None
     _cache: Dict[str, HardwareReport] = field(default_factory=dict, repr=False)
 
     def report_for(self, operator: Operator) -> HardwareReport:
-        """Hardware report of an operator (memoised by operator name)."""
+        """Hardware report of an operator (memoised by operator name).
+
+        Lookup order: in-process cache, then the persistent store (a
+        corrupt or stale record is a clean miss), then actual
+        characterisation — which is written back to the store.
+        """
         key = operator.name
         if key not in self._cache:
-            self._cache[key] = characterize_hardware(
+            store_key = self._store_key(operator)
+            if self.store is not None:
+                payload = self.store.load("hardware", store_key)
+                report = HardwareReport.from_dict(payload) \
+                    if payload is not None else None
+                if report is not None:
+                    self._cache[key] = report
+                    return report
+            report = characterize_hardware(
                 operator, frequency_hz=self.frequency_hz,
                 samples=self.hardware_samples, calibrated=self.calibrated)
+            self._cache[key] = report
+            if self.store is not None:
+                self.store.save("hardware", store_key, report.to_dict())
         return self._cache[key]
+
+    def _store_key(self, operator: Operator) -> Dict[str, object]:
+        from .. import __version__
+
+        return {
+            "repro": __version__,
+            "operator": operator.name,
+            "frequency_hz": self.frequency_hz,
+            "samples": self.hardware_samples,
+            "calibrated": self.calibrated,
+        }
 
     def energy_per_addition_pj(self, adder: AdderOperator) -> float:
         return self.report_for(adder).pdp_pj

@@ -9,11 +9,190 @@ line with the publication.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class ParetoRecord:
+    """One non-dominated sweep point: its objectives, row and sweep index."""
+
+    index: int
+    quality: float
+    cost: float
+    row: Dict[str, object]
+
+
+class ParetoFront:
+    """Incrementally maintained two-objective Pareto front.
+
+    The front accepts sweep rows one at a time (:meth:`update`) — in *any*
+    order, e.g. as parallel workers complete — and always converges to the
+    same final front as a serial in-order pass: strict-dominance filtering
+    of a fixed point set is order-independent, coordinate ties keep every
+    tied record, and :attr:`records` is sorted deterministically by
+    ``(cost, quality, sweep index)``.  That is the property the design-space
+    engine relies on to stream results into the front while a process pool
+    is still running.
+
+    ``quality`` is maximised and ``cost`` minimised by default (PSNR / MSSIM
+    versus energy); either sense can be flipped.
+    """
+
+    def __init__(self, quality: str, cost: str,
+                 maximize_quality: bool = True,
+                 minimize_cost: bool = True) -> None:
+        self.quality_column = str(quality)
+        self.cost_column = str(cost)
+        self.maximize_quality = bool(maximize_quality)
+        self.minimize_cost = bool(minimize_cost)
+        self.evaluated = 0
+        self._records: List[ParetoRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(cls, rows: Iterable[Dict[str, object]], quality: str,
+                  cost: str, maximize_quality: bool = True,
+                  minimize_cost: bool = True) -> "ParetoFront":
+        """Front of an already-materialised row sequence (serial order)."""
+        front = cls(quality, cost, maximize_quality=maximize_quality,
+                    minimize_cost=minimize_cost)
+        for index, row in enumerate(rows):
+            front.update(row, index)
+        return front
+
+    @classmethod
+    def from_result(cls, result: "ExperimentResult", quality: str, cost: str,
+                    maximize_quality: bool = True,
+                    minimize_cost: bool = True) -> "ParetoFront":
+        """Extract a front from an experiment result after the fact."""
+        return cls.from_rows(result.rows, quality, cost,
+                             maximize_quality=maximize_quality,
+                             minimize_cost=minimize_cost)
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    def _objectives(self, row: Dict[str, object]) -> Optional[tuple]:
+        """(minimised quality, minimised cost) of a row, None if undefined."""
+        try:
+            quality = float(row[self.quality_column])  # type: ignore[arg-type]
+            cost = float(row[self.cost_column])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            return None
+        if math.isnan(quality) or math.isnan(cost):
+            return None
+        return (-quality if self.maximize_quality else quality,
+                cost if self.minimize_cost else -cost)
+
+    def update(self, row: Dict[str, object], index: int) -> bool:
+        """Offer one sweep row to the front; True if it is non-dominated.
+
+        Dominated incumbents are evicted; records with identical objective
+        coordinates all stay (which keeps the outcome independent of
+        arrival order).  Rows with missing or NaN objectives never enter.
+        """
+        self.evaluated += 1
+        objectives = self._objectives(row)
+        if objectives is None:
+            return False
+        for record in self._records:
+            held = self._held_objectives(record)
+            if _strictly_dominates(held, objectives):
+                return False
+        self._records = [
+            record for record in self._records
+            if not _strictly_dominates(objectives,
+                                       self._held_objectives(record))
+        ]
+        quality = float(row[self.quality_column])  # type: ignore[arg-type]
+        cost = float(row[self.cost_column])  # type: ignore[arg-type]
+        self._records.append(ParetoRecord(index=int(index), quality=quality,
+                                          cost=cost, row=dict(row)))
+        return True
+
+    def _held_objectives(self, record: ParetoRecord) -> tuple:
+        return (-record.quality if self.maximize_quality else record.quality,
+                record.cost if self.minimize_cost else -record.cost)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def key(self) -> str:
+        """Identifier of the front among a result's fronts."""
+        return f"{self.quality_column}_vs_{self.cost_column}"
+
+    @property
+    def records(self) -> List[ParetoRecord]:
+        """Front records in deterministic order (cost, quality, index)."""
+        return sorted(self._records,
+                      key=lambda r: (self._held_objectives(r)[1],
+                                     self._held_objectives(r)[0], r.index))
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        """Front rows in deterministic order."""
+        return [dict(record.row) for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParetoFront):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "quality": self.quality_column,
+            "cost": self.cost_column,
+            "maximize_quality": self.maximize_quality,
+            "minimize_cost": self.minimize_cost,
+            "evaluated": self.evaluated,
+            "points": [
+                {"index": record.index, "quality": record.quality,
+                 "cost": record.cost, "row": dict(record.row)}
+                for record in self.records
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ParetoFront":
+        front = cls(str(data["quality"]), str(data["cost"]),
+                    maximize_quality=bool(data.get("maximize_quality", True)),
+                    minimize_cost=bool(data.get("minimize_cost", True)))
+        for point in data.get("points", []):  # type: ignore[union-attr]
+            front._records.append(ParetoRecord(
+                index=int(point["index"]), quality=float(point["quality"]),
+                cost=float(point["cost"]), row=dict(point["row"])))
+        front.evaluated = int(data.get("evaluated", len(front._records)))
+        return front
+
+    def save_json(self, path: Union[str, Path]) -> Path:
+        """Write the front as a standalone JSON document."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2, default=_jsonify))
+        return target
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ParetoFront {self.key}: {len(self._records)} of "
+                f"{self.evaluated} points>")
+
+
+def _strictly_dominates(a: tuple, b: tuple) -> bool:
+    """Whether ``a`` strictly dominates ``b`` (both objectives minimised)."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
 
 
 @dataclass
@@ -25,6 +204,9 @@ class ExperimentResult:
     columns: List[str]
     rows: List[Dict[str, object]] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Pareto fronts extracted from the rows, keyed by ``ParetoFront.key``
+    #: (e.g. ``"psnr_db_vs_total_energy_pj"``).
+    fronts: Dict[str, ParetoFront] = field(default_factory=dict)
 
     def add_row(self, **values: object) -> None:
         """Append a row; every declared column must be present."""
@@ -49,14 +231,28 @@ class ExperimentResult:
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #
+    def front(self, quality: str, cost: str, maximize_quality: bool = True,
+              minimize_cost: bool = True) -> ParetoFront:
+        """The front over the given axes — attached if present, else derived."""
+        key = f"{quality}_vs_{cost}"
+        if key in self.fronts:
+            return self.fronts[key]
+        return ParetoFront.from_result(self, quality, cost,
+                                       maximize_quality=maximize_quality,
+                                       minimize_cost=minimize_cost)
+
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "experiment": self.experiment,
             "description": self.description,
             "columns": list(self.columns),
             "rows": [dict(row) for row in self.rows],
             "metadata": dict(self.metadata),
         }
+        if self.fronts:
+            data["fronts"] = {key: front.to_dict()
+                              for key, front in sorted(self.fronts.items())}
+        return data
 
     def save_json(self, path: Union[str, Path]) -> Path:
         """Write the result as a JSON document and return the path."""
@@ -76,6 +272,8 @@ class ExperimentResult:
         )
         for row in data.get("rows", []):
             result.rows.append(dict(row))
+        for key, front in data.get("fronts", {}).items():
+            result.fronts[key] = ParetoFront.from_dict(front)
         return result
 
     # ------------------------------------------------------------------ #

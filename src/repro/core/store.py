@@ -1,0 +1,179 @@
+"""Persistent disk-backed store for characterisations and sweep records.
+
+The in-process caches (the :class:`~repro.core.datapath.DatapathEnergyModel`
+hardware cache, the LUT table cache) die with the interpreter, so every new
+session re-synthesises and re-simulates the same operator configurations.
+:class:`ResultStore` persists those records as one small JSON document per
+key under a directory, so repeated explorations across sessions — and across
+CI workflow steps, via ``actions/cache`` — skip the expensive work entirely.
+
+Design constraints:
+
+* **Corruption is a cache miss, never a crash.**  A truncated, garbled or
+  concurrently-overwritten file simply fails validation and the caller
+  recomputes; the store never propagates a decode error.
+* **Writes are atomic.**  Records are written to a same-directory temporary
+  file and moved into place with ``os.replace``, so a reader can never see a
+  partial document under the final name.
+* **Keys are structural.**  A key is any JSON-able structure (dicts, lists,
+  numbers, strings); NumPy arrays and dataclasses are canonicalised by
+  content (:func:`canonical_key`), so e.g. a workload configuration holding
+  a stimulus image fingerprints the pixels, not the object identity.  The
+  stored envelope embeds the canonical key and is checked on load, making
+  hash collisions harmless.
+"""
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Envelope schema version; bump when the on-disk layout changes.  Old
+#: records then fail validation and are recomputed (never misread).
+STORE_VERSION = 1
+
+StoreLike = Union["ResultStore", str, Path, None]
+
+
+def canonical_key(value: object) -> object:
+    """Canonical JSON-able form of an arbitrary key structure.
+
+    Dictionaries are sorted, tuples become lists, NumPy scalars unwrap and
+    NumPy arrays are replaced by a content fingerprint (shape, dtype and a
+    SHA-1 of the bytes).  Dataclass instances (e.g. a K-means point cloud)
+    canonicalise field by field.  Anything else falls back to ``repr`` —
+    stable for the value types used in workload configurations.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): canonical_key(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [canonical_key(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        data = np.ascontiguousarray(value)
+        return {
+            "__ndarray__": hashlib.sha1(data.tobytes()).hexdigest(),
+            "shape": list(data.shape),
+            "dtype": str(data.dtype),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {f.name: canonical_key(getattr(value, f.name))
+                       for f in dataclasses.fields(value)},
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return {"__repr__": repr(value)}
+
+
+def key_digest(kind: str, key: object) -> str:
+    """Stable hex digest naming the record file of ``key`` within ``kind``."""
+    canonical = json.dumps({"kind": kind, "key": canonical_key(key)},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(canonical.encode()).hexdigest()
+
+
+class ResultStore:
+    """Directory of JSON records keyed by structural content.
+
+    One record per ``(kind, key)`` pair, laid out as
+    ``<directory>/<kind>/<digest>.json``.  ``kind`` partitions the namespace
+    (``"hardware"`` for operator characterisations, ``"sweep"`` for workload
+    sweep records, ``"result"`` for whole experiment results) so a cache of
+    one kind can be inspected or purged without touching the others.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    @classmethod
+    def of(cls, store: StoreLike) -> Optional["ResultStore"]:
+        """Coerce a store, a directory path, or ``None``."""
+        if store is None or isinstance(store, ResultStore):
+            return store
+        return cls(store)
+
+    # ------------------------------------------------------------------ #
+    # Record access
+    # ------------------------------------------------------------------ #
+    def path_for(self, kind: str, key: object) -> Path:
+        return self.directory / kind / f"{key_digest(kind, key)}.json"
+
+    def load(self, kind: str, key: object) -> Optional[Dict[str, object]]:
+        """Stored payload of ``(kind, key)``, or ``None`` on any miss.
+
+        A missing file, malformed JSON, a wrong envelope version and a key
+        mismatch (hash collision or hand-edited file) all read as a clean
+        cache miss.
+        """
+        path = self.path_for(kind, key)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        if document.get("store_version") != STORE_VERSION:
+            return None
+        if document.get("kind") != kind:
+            return None
+        if document.get("key") != canonical_key(key):
+            return None
+        payload = document.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def save(self, kind: str, key: object,
+             payload: Dict[str, object]) -> Optional[Path]:
+        """Persist ``payload`` under ``(kind, key)``; atomic via rename.
+
+        Returns the record path, or ``None`` when the payload cannot be
+        serialised or the filesystem refuses the write — persistence is an
+        optimisation, never a reason to fail the computation that produced
+        the payload.
+        """
+        from .results import _jsonify
+
+        path = self.path_for(kind, key)
+        document = {
+            "store_version": STORE_VERSION,
+            "kind": kind,
+            "key": canonical_key(key),
+            "payload": payload,
+        }
+        try:
+            text = json.dumps(document, default=_jsonify)
+        except TypeError:
+            return None
+        temporary = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temporary.write_text(text)
+            os.replace(temporary, path)
+        except OSError:
+            temporary.unlink(missing_ok=True)
+            return None
+        return path
+
+    def contains(self, kind: str, key: object) -> bool:
+        """Whether a *valid* record exists for ``(kind, key)``."""
+        return self.load(kind, key) is not None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def entry_count(self, kind: Optional[str] = None) -> int:
+        """Number of record files on disk (validity not checked)."""
+        base = self.directory if kind is None else self.directory / kind
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.rglob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultStore {self.directory}>"

@@ -38,8 +38,10 @@ from .datapath import (
     OperationCounts,
     minimal_multiplier_for,
 )
+from .designspace import DesignPoint, DesignSpace
 from .registry import parse_operator
-from .results import ExperimentResult, ResultBundle
+from .results import ExperimentResult, ParetoFront, ResultBundle
+from .store import ResultStore, StoreLike
 
 
 @dataclass
@@ -62,10 +64,12 @@ class SweepOutcome:
     details: Dict[str, object] = field(default_factory=dict)
     energy: Optional[DatapathEnergyBreakdown] = None
     energy_model: Optional[DatapathEnergyModel] = None
+    #: Design point behind this outcome (design-space sweeps only).
+    point: Optional[DesignPoint] = None
 
 
 RowBuilder = Callable[[SweepOutcome], Dict[str, object]]
-OperatorLike = Union[Operator, str]
+OperatorLike = Union[Operator, str, DesignPoint]
 
 
 def _resolve_operator(operator: OperatorLike) -> Operator:
@@ -108,6 +112,8 @@ class Study:
         self._columns: Optional[List[str]] = None
         self._metadata: Optional[Dict[str, object]] = None
         self._row_builder: Optional[RowBuilder] = None
+        self._store: Optional[ResultStore] = None
+        self._pareto_axes: Optional[Tuple[str, str, bool, bool]] = None
 
     # ------------------------------------------------------------------ #
     # Builder surface
@@ -145,6 +151,48 @@ class Study:
         """Sweep bare operators (operator-level characterisation studies)."""
         self._operators = list(operators)
         self._axis = "operator"
+        return self
+
+    def design_space(self, space: Union[DesignSpace, Iterable[DesignPoint]]
+                     ) -> "Study":
+        """Sweep a unified operator × word-length design space.
+
+        Every :class:`~repro.core.designspace.DesignPoint` carries its own
+        adder + multiplier pairing (sizing-propagated for the careful-sizing
+        axis) and optional per-point workload configuration overrides, so a
+        single sweep can mix functionally approximate operators and
+        word-length-sized exact datapaths — the paper's joint comparison.
+        """
+        self._operators = list(DesignSpace.of(space))
+        self._axis = "design"
+        return self
+
+    def pareto(self, quality: str, cost: str, maximize_quality: bool = True,
+               minimize_cost: bool = True) -> "Study":
+        """Extract the quality-versus-cost Pareto front while running.
+
+        The front is updated *incrementally* as sweep points complete —
+        including out-of-order completions from a process pool — and is
+        attached to the emitted result under
+        ``result.fronts[f"{quality}_vs_{cost}"]``; it is bit-identical to a
+        serial in-order extraction.
+        """
+        self._pareto_axes = (str(quality), str(cost), bool(maximize_quality),
+                             bool(minimize_cost))
+        return self
+
+    def store(self, store: StoreLike) -> "Study":
+        """Persist and reuse sweep records through a disk-backed store.
+
+        Accepts a :class:`~repro.core.store.ResultStore` or a directory
+        path.  Sweep points whose exact computation (workload, merged
+        configuration, operators, backend, seed, repro version) was
+        recorded in an earlier session are served from disk and skip their
+        functional simulation; fresh points are written back.  The store is
+        also offered to the energy model (if it has none yet), so hardware
+        characterisations persist alongside.
+        """
+        self._store = ResultStore.of(store)
         return self
 
     def pair_with(self, operator: OperatorLike,
@@ -210,12 +258,20 @@ class Study:
         """Execute the sweep and emit the experiment result.
 
         ``workers > 1`` fans the functional simulations out over a process
-        pool; energy charging and row emission stay in the parent so every
-        sweep point shares one hardware-characterisation cache and the
-        result is bit-identical to a serial run.
+        pool; energy charging, Pareto-front maintenance and row emission
+        stay in the parent — rows are processed as workers complete (which
+        is how the incremental front fills in) but always emitted in sweep
+        order, so the result is bit-identical to a serial run.  With a
+        configured :meth:`store`, recorded sweep points skip their
+        simulation entirely and fresh ones are persisted.
         """
         if self._workload is None:
             raise ValueError("no workload selected; call .workload(...) first")
+        if self._pair is not None and self._axis == "design":
+            raise ValueError(
+                "pair_with() does not apply to a design-space sweep: every "
+                "DesignPoint already carries its own operator pairing — set "
+                "the partner (and inject_pair) on the points instead")
         workload = self._workload
         config = workload.merged_config(self._config)
         if self._seed is not None:
@@ -223,26 +279,49 @@ class Study:
         else:
             config.setdefault("seed", 0)
         seed = int(config["seed"])
+        # Offer this study's store to a store-less energy model for the
+        # duration of the run only: a model shared across studies must not
+        # keep the first study's store directory (restored in the finally
+        # below), while a model configured with its own store is never
+        # touched.
+        store_offered = (self._store is not None
+                         and self._energy_model is not None
+                         and self._energy_model.store is None)
+        if store_offered:
+            self._energy_model.store = self._store
+        try:
+            return self._run_resolved(workload, config, seed, workers)
+        finally:
+            if store_offered:
+                self._energy_model.store = None
 
+    def _run_resolved(self, workload: Workload, config: Dict[str, object],
+                      seed: int, workers: int) -> ExperimentResult:
+        """Execute the configured sweep (see :meth:`run`)."""
         points = [self._resolve_point(op) for op in self._operators]
-        tasks = [(workload, operator_map, config, seed)
-                 for operator_map, _, _ in points]
-        results = self._execute(tasks, workers)
+        tasks = []
+        for operator_map, _, _, design in points:
+            point_config = config
+            if design is not None and design.config:
+                point_config = workload.merged_config(
+                    {**self._config, **dict(design.config)})
+                point_config["seed"] = seed
+            tasks.append((workload, operator_map, point_config, seed))
 
-        experiment = ExperimentResult(
-            experiment=self._experiment or f"{workload.name}_{self._axis}_sweep",
-            description=self._description or (
-                f"Study sweep of {len(points)} {self._axis} configurations "
-                f"over the {workload.name!r} workload"),
-            columns=list(self._columns) if self._columns is not None else [],
-            metadata=self._metadata if self._metadata is not None
-            else {"workload": workload.name, "seed": seed,
-                  "sweep_points": len(points),
-                  "backend": backend_spec(self._backend)},
-        )
+        front: Optional[ParetoFront] = None
+        if self._pareto_axes is not None:
+            quality, cost, maximize_quality, minimize_cost = self._pareto_axes
+            front = ParetoFront(quality, cost,
+                                maximize_quality=maximize_quality,
+                                minimize_cost=minimize_cost)
+
         build_row = self._row_builder or _default_row
-        for index, ((operator_map, adder, multiplier), outcome) \
-                in enumerate(zip(points, results)):
+        rows: List[Optional[Dict[str, object]]] = [None] * len(points)
+        store_hits = 0
+        for index, outcome, fresh in self._outcomes(tasks, workers):
+            operator_map, adder, multiplier, design = points[index]
+            if not fresh:
+                store_hits += 1
             energy = None
             if self._energy_model is not None and adder is not None:
                 energy = self._energy_model.application_energy_pj(
@@ -259,11 +338,36 @@ class Study:
                 details=dict(outcome.details),
                 energy=energy,
                 energy_model=self._energy_model,
+                point=design,
             )
             row = build_row(sweep_outcome)
+            rows[index] = row
+            if front is not None:
+                front.update(row, index)
+
+        metadata = self._metadata if self._metadata is not None \
+            else {"workload": workload.name, "seed": seed,
+                  "sweep_points": len(points),
+                  "backend": backend_spec(self._backend)}
+        if self._store is not None:
+            # self._metadata is already a private copy (made in experiment()),
+            # so annotating it never mutates caller state.
+            metadata["store_hits"] = store_hits
+        experiment = ExperimentResult(
+            experiment=self._experiment or f"{workload.name}_{self._axis}_sweep",
+            description=self._description or (
+                f"Study sweep of {len(points)} {self._axis} configurations "
+                f"over the {workload.name!r} workload"),
+            columns=list(self._columns) if self._columns is not None else [],
+            metadata=metadata,
+        )
+        for row in rows:
+            assert row is not None  # every index is yielded exactly once
             if not experiment.columns:
                 experiment.columns = list(row)
             experiment.add_row(**row)
+        if front is not None:
+            experiment.fronts[front.key] = front
         return experiment
 
     def run_bundle(self, workers: int = 1) -> ResultBundle:
@@ -277,8 +381,12 @@ class Study:
     # ------------------------------------------------------------------ #
     def _resolve_point(self, operator: OperatorLike
                        ) -> Tuple[OperatorMap, Optional[AdderOperator],
-                                  Optional[MultiplierOperator]]:
-        """Swept operator -> (functional map, energy adder, energy multiplier)."""
+                                  Optional[MultiplierOperator],
+                                  Optional[DesignPoint]]:
+        """Swept operator -> (functional map, energy adder, energy multiplier,
+        design point)."""
+        if isinstance(operator, DesignPoint):
+            return self._resolve_design_point(operator)
         swept = _resolve_operator(operator)
         pair = _resolve_operator(self._pair) if self._pair is not None else None
         axis = self._axis
@@ -296,7 +404,7 @@ class Study:
                 swept=swept, adder=swept,
                 multiplier=multiplier if self._pair_injected else None,
                 backend=self._backend)
-            return functional, swept, multiplier
+            return functional, swept, multiplier, None
         if axis == "multiplier":
             if not isinstance(swept, MultiplierOperator):
                 raise TypeError(f"{swept.name} is not a multiplier; it cannot "
@@ -306,31 +414,143 @@ class Study:
                 swept=swept, multiplier=swept,
                 adder=adder if self._pair_injected else None,
                 backend=self._backend)
-            return functional, adder, swept
-        return OperatorMap(swept=swept, backend=self._backend), None, None
+            return functional, adder, swept, None
+        return OperatorMap(swept=swept, backend=self._backend), None, None, None
+
+    def _resolve_design_point(self, point: DesignPoint
+                              ) -> Tuple[OperatorMap, Optional[AdderOperator],
+                                         Optional[MultiplierOperator],
+                                         DesignPoint]:
+        """Design point -> functional map plus the charged operator pair.
+
+        The paper's convention carries over from the single-axis sweeps:
+        the operator under test enters the functional simulation, its
+        partner enters the energy accounting only (``inject_pair=True``
+        feeds the partner into the simulation too).
+        """
+        if point.role == "adder":
+            functional = OperatorMap(
+                swept=point.adder, adder=point.adder,
+                multiplier=point.multiplier if point.inject_pair else None,
+                backend=self._backend)
+            return functional, point.adder, point.multiplier, point
+        if point.role == "multiplier":
+            functional = OperatorMap(
+                swept=point.multiplier, multiplier=point.multiplier,
+                adder=point.adder if point.inject_pair else None,
+                backend=self._backend)
+            return functional, point.adder, point.multiplier, point
+        return (OperatorMap(swept=point.swept, backend=self._backend),
+                None, None, point)
+
+    # ------------------------------------------------------------------ #
+    # Execution internals
+    # ------------------------------------------------------------------ #
+    def _outcomes(self, tasks: List[Tuple[Workload, OperatorMap,
+                                          Dict[str, object], int]],
+                  workers: int):
+        """Yield ``(index, WorkloadResult, fresh)`` in completion order.
+
+        Store-recorded points short-circuit first (``fresh=False``); the
+        remainder runs serially or streams out of a process pool as each
+        future completes.  Fresh results are written back to the store.
+        """
+        pending: List[Tuple[int, Tuple[Workload, OperatorMap,
+                                       Dict[str, object], int]]] = []
+        keys: Dict[int, Dict[str, object]] = {}
+        for index, task in enumerate(tasks):
+            key = self._sweep_key(task) if self._store is not None else None
+            if key is not None:
+                cached = _record_to_result(self._store.load("sweep", key))
+                if cached is not None:
+                    yield index, cached, False
+                    continue
+                keys[index] = key
+            pending.append((index, task))
+
+        for index, result in self._execute_stream(pending, workers):
+            if self._store is not None and index in keys:
+                payload = _result_to_record(result)
+                if payload is not None:
+                    self._store.save("sweep", keys[index], payload)
+            yield index, result, True
+
+    def _sweep_key(self, task: Tuple[Workload, OperatorMap,
+                                     Dict[str, object], int]
+                   ) -> Dict[str, object]:
+        """Identity of one sweep point's exact computation."""
+        from .. import __version__
+
+        workload, operator_map, config, seed = task
+        return {
+            "repro": __version__,
+            "workload": workload.name,
+            "config": config,
+            "seed": seed,
+            "backend": backend_spec(self._backend),
+            "swept": operator_map.swept.name,
+            "adder": operator_map.adder.name
+            if operator_map.adder is not None else None,
+            "multiplier": operator_map.multiplier.name
+            if operator_map.multiplier is not None else None,
+        }
 
     @staticmethod
-    def _execute(tasks: List[Tuple[Workload, OperatorMap, Dict[str, object], int]],
-                 workers: int) -> List[WorkloadResult]:
-        if workers <= 1 or len(tasks) <= 1:
-            return [_execute_point(task) for task in tasks]
+    def _execute_stream(pending: List[Tuple[int, Tuple[Workload, OperatorMap,
+                                                       Dict[str, object], int]]],
+                        workers: int):
+        """Yield ``(index, WorkloadResult)`` as sweep points complete.
+
+        ``workers > 1`` streams completions out of a process pool (in
+        completion order, which is what feeds the incremental Pareto
+        front); restricted environments (no process spawning / semaphores)
+        fall back to the serial path, which is result-identical.
+        """
+        if workers <= 1 or len(pending) <= 1:
+            for index, task in pending:
+                yield index, _execute_point(task)
+            return
         try:
-            from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+            from concurrent.futures import (
+                BrokenExecutor,
+                ProcessPoolExecutor,
+                as_completed,
+            )
         except ImportError:
-            return [_execute_point(task) for task in tasks]
+            for index, task in pending:
+                yield index, _execute_point(task)
+            return
+        done: set = set()
         try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-                return list(pool.map(_execute_point, tasks))
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending))) as pool:
+                futures = {pool.submit(_execute_point, task): index
+                           for index, task in pending}
+                for future in as_completed(futures):
+                    index = futures[future]
+                    result = future.result()
+                    done.add(index)
+                    yield index, result
+            return
         except (OSError, BrokenExecutor):
-            # Restricted environments (no process spawning / semaphores):
-            # fall back to the serial path, which is result-identical.
-            return [_execute_point(task) for task in tasks]
+            pass
+        for index, task in pending:
+            if index not in done:
+                yield index, _execute_point(task)
 
 
 def _default_row(outcome: SweepOutcome) -> Dict[str, object]:
-    """Tidy default row: identities, metrics, counts and energy split."""
+    """Tidy default row: identities, metrics, counts and energy split.
+
+    Design-space outcomes additionally carry their point's frontier
+    metadata (axis label and emitted word length), so a joint
+    approximate-versus-sized sweep is Pareto-ready without a custom row
+    builder.
+    """
     row: Dict[str, object] = {"workload": outcome.workload,
                               "operator": outcome.swept.name}
+    if outcome.point is not None:
+        row.update(outcome.point.describe())
     if outcome.adder is not None:
         row["adder"] = outcome.adder.name
     if outcome.multiplier is not None:
@@ -343,3 +563,71 @@ def _default_row(outcome: SweepOutcome) -> Dict[str, object]:
         row["multiplier_energy_pj"] = outcome.energy.multiplier_energy_pj
         row["total_energy_pj"] = outcome.energy.total_energy_pj
     return row
+
+
+# --------------------------------------------------------------------------- #
+# Sweep-record (de)serialisation for the persistent store
+# --------------------------------------------------------------------------- #
+def _value_preserving_json(value: object) -> bool:
+    """Whether a details value survives a JSON round trip unchanged.
+
+    Strictly plain JSON values only: live objects, NumPy arrays and
+    integer scalars, and tuples would all come back as something else
+    (or not at all) on a warm load.  ``np.float64`` passes because it is
+    a ``float`` subclass and round-trips to an equal value.
+    """
+    if value is None or isinstance(value, (bool, str, int, float)):
+        return True
+    if isinstance(value, list):
+        return all(_value_preserving_json(item) for item in value)
+    if isinstance(value, dict):
+        return all(isinstance(key, str) and _value_preserving_json(item)
+                   for key, item in value.items())
+    return False
+
+
+def _result_to_record(result: WorkloadResult) -> Optional[Dict[str, object]]:
+    """JSON-safe payload of a workload result, or None when not storable.
+
+    Results whose details hold anything that would not round-trip
+    verbatim (live objects, NumPy arrays, tuples) are *not* persisted —
+    storing a lossy rendition would change what warm runs observe, and
+    fidelity beats hit rate.  Metrics are exempt from the strictness:
+    they are contractually numeric and are coerced through ``float`` on
+    load anyway.
+    """
+    import json
+
+    from .results import _jsonify
+
+    details = dict(result.details)
+    if not _value_preserving_json(details):
+        return None
+    payload = {
+        "metrics": dict(result.metrics),
+        "counts": {"additions": result.counts.additions,
+                   "multiplications": result.counts.multiplications},
+        "details": details,
+    }
+    try:
+        return json.loads(json.dumps(payload, default=_jsonify))
+    except TypeError:
+        return None
+
+
+def _record_to_result(payload: Optional[Dict[str, object]]
+                      ) -> Optional[WorkloadResult]:
+    """Rehydrate a stored sweep record; malformed payloads are misses."""
+    if payload is None:
+        return None
+    try:
+        metrics = {str(name): float(value)
+                   for name, value in dict(payload["metrics"]).items()}
+        counts_data = dict(payload["counts"])
+        counts = OperationCounts(
+            additions=int(counts_data["additions"]),
+            multiplications=int(counts_data["multiplications"]))
+        details = dict(payload.get("details", {}))
+    except (KeyError, TypeError, ValueError):
+        return None
+    return WorkloadResult(metrics=metrics, counts=counts, details=details)

@@ -1,8 +1,9 @@
 """One module per reproduced table / figure of the paper, plus ablations.
 
-Every function here is a thin declarative wrapper over the fluent
+Every function here is a declarative design space over the
+:mod:`repro.core.designspace` engine driven through the fluent
 :class:`repro.core.study.Study` pipeline — new scenarios should be written
-as :mod:`repro.workloads` plugins driven by ``Study`` directly rather than
+as :mod:`repro.workloads` plugins with their own design spaces rather than
 as new modules in this package.
 """
 from .ablations import multiplier_compensation_ablation, rounding_mode_ablation
@@ -10,20 +11,31 @@ from .adders_study import adder_error_cost_study, default_figure_sweep
 from .fft_study import (
     default_fft_adder_sweep,
     fft_adder_sweep,
+    fft_design_space,
+    fft_joint_frontier,
     fft_multiplier_comparison,
 )
 from .hevc_study import (
     TABLE3_ADDERS,
     TABLE4_MULTIPLIERS,
+    hevc_adder_space,
     hevc_adder_table,
+    hevc_multiplier_space,
     hevc_multiplier_table,
 )
-from .jpeg_study import default_jpeg_adder_sweep, jpeg_adder_sweep
+from .jpeg_study import (
+    default_jpeg_adder_sweep,
+    jpeg_adder_sweep,
+    jpeg_design_space,
+    jpeg_joint_frontier,
+)
 from .kmeans_study import (
     TABLE5_ADDERS,
     TABLE6_MULTIPLIERS,
     default_point_clouds,
+    kmeans_adder_space,
     kmeans_adder_table,
+    kmeans_multiplier_space,
     kmeans_multiplier_table,
 )
 from .multipliers_study import multiplier_comparison
@@ -34,15 +46,23 @@ __all__ = [
     "default_figure_sweep",
     "multiplier_comparison",
     "fft_adder_sweep",
+    "fft_design_space",
+    "fft_joint_frontier",
     "fft_multiplier_comparison",
     "default_fft_adder_sweep",
     "jpeg_adder_sweep",
+    "jpeg_design_space",
+    "jpeg_joint_frontier",
     "default_jpeg_adder_sweep",
+    "hevc_adder_space",
     "hevc_adder_table",
+    "hevc_multiplier_space",
     "hevc_multiplier_table",
     "TABLE3_ADDERS",
     "TABLE4_MULTIPLIERS",
+    "kmeans_adder_space",
     "kmeans_adder_table",
+    "kmeans_multiplier_space",
     "kmeans_multiplier_table",
     "default_point_clouds",
     "TABLE5_ADDERS",

@@ -7,14 +7,17 @@ These go beyond the paper's own experiments:
 * the effect of the data-sizing rounding mode (truncation vs round-half-up
   vs round-to-nearest-even) on accuracy at iso bit-width.
 
-Both ablations run through the :class:`~repro.core.study.Study` pipeline
-with the ``"characterization"`` workload plugin.
+Both ablations run as declarative design spaces (bare-operator axis) over
+the :mod:`repro.core.designspace` engine with the ``"characterization"``
+workload plugin.
 """
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..core.designspace import operator_axis
 from ..core.results import ExperimentResult
+from ..core.store import StoreLike
 from ..core.study import Study, SweepOutcome
 from ..operators.adders import (
     RoundToNearestEvenAdder,
@@ -27,7 +30,8 @@ from ..operators.multipliers import AAMMultiplier, ABMMultiplier
 def multiplier_compensation_ablation(input_width: int = 16,
                                      error_samples: int = 50_000,
                                      hardware_samples: int = 600,
-                                     workers: int = 1) -> ExperimentResult:
+                                     workers: int = 1,
+                                     store: StoreLike = None) -> ExperimentResult:
     """AAM / ABM with and without their compensation and exact conversion."""
     variants = [
         ("AAM compensated", AAMMultiplier(input_width, compensation=True)),
@@ -51,7 +55,8 @@ def multiplier_compensation_ablation(input_width: int = 16,
     return (Study()
             .workload("characterization", error_samples=error_samples,
                       hardware_samples=hardware_samples)
-            .operators([operator for _, operator in variants])
+            .design_space(operator_axis([operator for _, operator in variants]))
+            .store(store)
             .experiment(
                 "ablation_compensation",
                 description=("Contribution of the compensation circuits (and "
@@ -68,7 +73,8 @@ def rounding_mode_ablation(input_width: int = 16,
                            output_widths: Optional[Sequence[int]] = None,
                            error_samples: int = 50_000,
                            hardware_samples: int = 600,
-                           workers: int = 1) -> ExperimentResult:
+                           workers: int = 1,
+                           store: StoreLike = None) -> ExperimentResult:
     """Truncation vs rounding vs round-to-nearest-even for data sizing."""
     if output_widths is None:
         output_widths = (14, 12, 10, 8, 6)
@@ -91,7 +97,8 @@ def rounding_mode_ablation(input_width: int = 16,
     return (Study()
             .workload("characterization", error_samples=error_samples,
                       hardware_samples=hardware_samples)
-            .operators([operator for _, _, operator in points])
+            .design_space(operator_axis([operator for _, _, operator in points]))
+            .store(store)
             .experiment(
                 "ablation_rounding_mode",
                 description=("Effect of the LSB-elimination rounding mode on "

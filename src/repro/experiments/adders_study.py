@@ -7,13 +7,15 @@ error metrics (MSE in dB, BER) against the hardware metrics (power, delay,
 PDP, area) — i.e. the data behind the eight scatter plots of Figures 3a-3d
 and 4a-4d.
 
-Implemented as a thin wrapper over the :class:`~repro.core.study.Study`
-pipeline with the ``"characterization"`` workload plugin.
+Implemented as a declarative design space (bare-operator axis) over the
+:mod:`repro.core.designspace` engine with the ``"characterization"``
+workload plugin.
 """
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..core.designspace import operator_axis
 from ..core.exploration import (
     sweep_aca_adders,
     sweep_etaiv_adders,
@@ -23,6 +25,7 @@ from ..core.exploration import (
     unique_by_name,
 )
 from ..core.results import ExperimentResult
+from ..core.store import StoreLike
 from ..core.study import Study, SweepOutcome
 from ..operators.base import Operator
 
@@ -74,7 +77,8 @@ def adder_error_cost_study(input_width: int = 16,
                            error_samples: int = 50_000,
                            hardware_samples: int = 800,
                            reduced: bool = False,
-                           workers: int = 1) -> ExperimentResult:
+                           workers: int = 1,
+                           store: StoreLike = None) -> ExperimentResult:
     """Regenerate the data of Figures 3 (MSE) and 4 (BER) in one table."""
     if operators is None:
         operators = default_figure_sweep(input_width, reduced=reduced)
@@ -94,7 +98,8 @@ def adder_error_cost_study(input_width: int = 16,
     return (Study()
             .workload("characterization", error_samples=error_samples,
                       hardware_samples=hardware_samples)
-            .operators(operators)
+            .design_space(operator_axis(operators))
+            .store(store)
             .experiment(
                 "fig3_fig4_adders",
                 description=("16-bit adders: MSE/BER versus power, delay, PDP "

@@ -6,9 +6,13 @@ multiplier its emitted data width allows (the coupling the paper emphasises),
 and reports the output PSNR against the total datapath energy of Equation 1.
 Table II keeps exact 16-bit adders and swaps the fixed-width multipliers.
 
-Both experiments are thin declarative wrappers over the fluent
-:class:`~repro.core.study.Study` pipeline — see that module for the general
-API (custom workloads, parallel sweeps, shared energy cache).
+Both experiments are expressed as *declarative design spaces* over the
+:mod:`repro.core.designspace` engine: the Figure 5 sweep is literally the
+joint sized + approximate adder space
+(:func:`~repro.core.designspace.joint_adder_space`), and
+:func:`fft_joint_frontier` extracts the paper's headline
+quality-versus-energy Pareto frontier from it incrementally while the sweep
+runs.
 """
 from __future__ import annotations
 
@@ -16,39 +20,25 @@ from typing import List, Optional, Sequence
 
 from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
-from ..core.exploration import (
-    sweep_aca_adders,
-    sweep_etaiv_adders,
-    sweep_rcaapx_adders,
-    sweep_rounded_adders,
-    sweep_truncated_adders,
-    unique_by_name,
-)
+from ..core.designspace import DesignSpace, adder_axis, joint_adder_space, multiplier_axis
 from ..core.results import ExperimentResult
+from ..core.store import StoreLike
 from ..core.study import Study, SweepOutcome
 from ..operators.adders import ExactAdder
 from ..operators.base import AdderOperator, MultiplierOperator
 from ..operators.multipliers import AAMMultiplier, ABMMultiplier, TruncatedMultiplier
 
 
+def fft_design_space(input_width: int = 16,
+                     reduced: bool = False) -> DesignSpace:
+    """The Figure 5 design space: sized and approximate adder axes joined."""
+    return joint_adder_space(input_width, reduced=reduced)
+
+
 def default_fft_adder_sweep(input_width: int = 16,
                             reduced: bool = False) -> List[AdderOperator]:
-    """Adder configurations of Figure 5."""
-    if reduced:
-        adders: List[AdderOperator] = []
-        adders.extend(sweep_truncated_adders(input_width, [15, 13, 11, 9, 7]))
-        adders.extend(sweep_rounded_adders(input_width, [15, 13, 11, 9, 7]))
-        adders.extend(sweep_aca_adders(input_width, [6, 10, 14]))
-        adders.extend(sweep_etaiv_adders(input_width, [2, 4, 8]))
-        adders.extend(sweep_rcaapx_adders(input_width, [4, 8], fa_types=(1, 2, 3)))
-        return unique_by_name(adders)
-    adders = []
-    adders.extend(sweep_truncated_adders(input_width))
-    adders.extend(sweep_rounded_adders(input_width))
-    adders.extend(sweep_aca_adders(input_width))
-    adders.extend(sweep_etaiv_adders(input_width))
-    adders.extend(sweep_rcaapx_adders(input_width, range(2, input_width, 2)))
-    return unique_by_name(adders)
+    """Adder configurations of Figure 5 (the design space's adder slots)."""
+    return [point.adder for point in fft_design_space(input_width, reduced)]
 
 
 def fft_adder_sweep(size: int = 32, input_width: int = 16,
@@ -56,10 +46,13 @@ def fft_adder_sweep(size: int = 32, input_width: int = 16,
                     frames: int = 8, reduced: bool = False,
                     energy_model: Optional[DatapathEnergyModel] = None,
                     workers: int = 1,
-                    backend: BackendLike = "direct") -> ExperimentResult:
+                    backend: BackendLike = "direct",
+                    store: StoreLike = None) -> ExperimentResult:
     """Regenerate Figure 5 (PDP of FFT-32 versus output PSNR, adders swept)."""
     if adders is None:
-        adders = default_fft_adder_sweep(input_width, reduced=reduced)
+        space = fft_design_space(input_width, reduced=reduced)
+    else:
+        space = adder_axis(adders)
 
     def row(point: SweepOutcome) -> dict:
         return dict(
@@ -73,9 +66,10 @@ def fft_adder_sweep(size: int = 32, input_width: int = 16,
 
     return (Study()
             .workload("fft", size=size, data_width=input_width, frames=frames)
-            .adders(adders)
+            .design_space(space)
             .backend(backend)
             .energy(energy_model)
+            .store(store)
             .experiment(
                 "fig5_fft_adders",
                 description=("FFT-32 on 16-bit data: total datapath energy "
@@ -88,16 +82,72 @@ def fft_adder_sweep(size: int = 32, input_width: int = 16,
             .run(workers=workers))
 
 
+def fft_joint_frontier(size: int = 32, input_width: int = 16,
+                       frames: int = 8, reduced: bool = False,
+                       energy_model: Optional[DatapathEnergyModel] = None,
+                       workers: int = 1,
+                       backend: BackendLike = "direct",
+                       store: StoreLike = None) -> ExperimentResult:
+    """The paper's headline comparison on the FFT: a joint Pareto frontier.
+
+    Sweeps the unified design space — functionally approximate adders and
+    word-length-sized exact datapaths, each with its sizing-propagated
+    multiplier pairing — and extracts the PSNR-versus-energy Pareto front
+    incrementally as sweep points complete.  The front is attached to the
+    result under ``fronts["psnr_db_vs_total_energy_pj"]`` and its rows
+    carry the ``axis`` / ``word_length`` columns that tell the two
+    populations apart.
+    """
+    space = fft_design_space(input_width, reduced=reduced)
+
+    def row(point: SweepOutcome) -> dict:
+        info = point.point.describe()
+        return dict(
+            design=info["design"],
+            axis=info["axis"],
+            word_length=info["word_length"],
+            adder=point.adder.name,
+            multiplier=point.multiplier.name,
+            psnr_db=point.metrics["psnr_db"],
+            adder_energy_pj=point.energy.adder_energy_pj,
+            multiplier_energy_pj=point.energy.multiplier_energy_pj,
+            total_energy_pj=point.energy.total_energy_pj,
+        )
+
+    return (Study()
+            .workload("fft", size=size, data_width=input_width, frames=frames)
+            .design_space(space)
+            .backend(backend)
+            .energy(energy_model)
+            .store(store)
+            .pareto(quality="psnr_db", cost="total_energy_pj")
+            .experiment(
+                "fft_joint_frontier",
+                description=("FFT-32 joint design space: approximate "
+                             "operators versus word-length-sized exact "
+                             "datapaths on one PSNR-versus-energy frontier "
+                             "(the paper's headline comparison)"),
+                columns=["design", "axis", "word_length", "adder",
+                         "multiplier", "psnr_db", "adder_energy_pj",
+                         "multiplier_energy_pj", "total_energy_pj"],
+                metadata={"fft_size": size, "frames": frames,
+                          "design_points": len(space)})
+            .rows(row)
+            .run(workers=workers))
+
+
 def fft_multiplier_comparison(size: int = 32, input_width: int = 16,
                               multipliers: Optional[Sequence[MultiplierOperator]] = None,
                               frames: int = 8,
                               energy_model: Optional[DatapathEnergyModel] = None,
                               workers: int = 1,
-                              backend: BackendLike = "direct") -> ExperimentResult:
+                              backend: BackendLike = "direct",
+                              store: StoreLike = None) -> ExperimentResult:
     """Regenerate Table II (FFT-32 accuracy/energy with fixed-width multipliers)."""
     if multipliers is None:
         multipliers = [TruncatedMultiplier(input_width, input_width),
                        AAMMultiplier(input_width), ABMMultiplier(input_width)]
+    space = multiplier_axis(multipliers, pair=ExactAdder(input_width))
 
     def row(point: SweepOutcome) -> dict:
         return dict(
@@ -110,10 +160,10 @@ def fft_multiplier_comparison(size: int = 32, input_width: int = 16,
 
     return (Study()
             .workload("fft", size=size, data_width=input_width, frames=frames)
-            .multipliers(multipliers)
-            .pair_with(ExactAdder(input_width))
+            .design_space(space)
             .backend(backend)
             .energy(energy_model)
+            .store(store)
             .experiment(
                 "table2_fft_multipliers",
                 description=("FFT-32 with 16-bit fixed-width multipliers and "

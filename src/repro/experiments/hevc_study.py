@@ -7,10 +7,10 @@ is the MSSIM against the exact filter output; the energy columns report the
 per-operation adder energy, the per-operation multiplier energy and the total
 datapath energy of the run.
 
-Implemented as thin wrappers over the :class:`~repro.core.study.Study`
-pipeline with the ``"hevc"`` workload plugin; Table III charges
-multiplications at the constant-coefficient rate because the filter taps are
-small constants.
+Implemented as declarative design spaces over the
+:mod:`repro.core.designspace` engine with the ``"hevc"`` workload plugin;
+Table III charges multiplications at the constant-coefficient rate because
+the filter taps are small constants.
 """
 from __future__ import annotations
 
@@ -21,11 +21,14 @@ import numpy as np
 from ..apps.images import synthetic_image
 from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
+from ..core.designspace import DesignSpace, adder_axis, multiplier_point
 from ..core.results import ExperimentResult
+from ..core.store import StoreLike
 from ..core.study import Study, SweepOutcome
 from ..operators.adders import (
     ACAAdder,
     ETAIVAdder,
+    ExactAdder,
     RCAApxAdder,
     TruncatedAdder,
 )
@@ -48,11 +51,31 @@ TABLE4_MULTIPLIERS = (
 )
 
 
+def hevc_adder_space(adders: Sequence[AdderOperator] = TABLE3_ADDERS
+                     ) -> DesignSpace:
+    """Table III as a design space (sizing-propagated multiplier pairing)."""
+    return adder_axis(adders)
+
+
+def hevc_multiplier_space(
+        multipliers: Sequence[MultiplierOperator] = TABLE4_MULTIPLIERS
+) -> DesignSpace:
+    """Table IV as a design space.
+
+    Each multiplier is paired with the exact adder of its *own* operand
+    width (the paper's setup, and what the pre-design-space sweep charged).
+    """
+    return DesignSpace(
+        multiplier_point(multiplier, adder=ExactAdder(multiplier.input_width))
+        for multiplier in multipliers)
+
+
 def hevc_adder_table(image: Optional[np.ndarray] = None, image_size: int = 128,
                      adders: Sequence[AdderOperator] = TABLE3_ADDERS,
                      energy_model: Optional[DatapathEnergyModel] = None,
                      workers: int = 1,
-                     backend: BackendLike = "direct") -> ExperimentResult:
+                     backend: BackendLike = "direct",
+                     store: StoreLike = None) -> ExperimentResult:
     """Regenerate Table III (MC filter with approximate / data-sized adders)."""
     if image is None:
         image = synthetic_image(image_size)
@@ -69,9 +92,10 @@ def hevc_adder_table(image: Optional[np.ndarray] = None, image_size: int = 128,
 
     return (Study()
             .workload("hevc", image=image)
-            .adders(adders)
+            .design_space(hevc_adder_space(adders))
             .backend(backend)
             .energy(energy_model)
+            .store(store)
             .constant_coefficient()
             .experiment(
                 "table3_hevc_adders",
@@ -89,7 +113,8 @@ def hevc_multiplier_table(image: Optional[np.ndarray] = None, image_size: int = 
                           multipliers: Sequence[MultiplierOperator] = TABLE4_MULTIPLIERS,
                           energy_model: Optional[DatapathEnergyModel] = None,
                           workers: int = 1,
-                          backend: BackendLike = "direct") -> ExperimentResult:
+                          backend: BackendLike = "direct",
+                          store: StoreLike = None) -> ExperimentResult:
     """Regenerate Table IV (MC filter with fixed-width multipliers swapped)."""
     if image is None:
         image = synthetic_image(image_size)
@@ -106,9 +131,10 @@ def hevc_multiplier_table(image: Optional[np.ndarray] = None, image_size: int = 
 
     return (Study()
             .workload("hevc", image=image)
-            .multipliers(multipliers)
+            .design_space(hevc_multiplier_space(multipliers))
             .backend(backend)
             .energy(energy_model)
+            .store(store)
             .experiment(
                 "table4_hevc_multipliers",
                 description=("HEVC motion-compensation filter with 16-bit "

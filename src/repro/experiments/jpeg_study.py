@@ -6,8 +6,10 @@ fixed-point DCT and the one encoded with the operator under test, the energy
 axis is the per-operation energy of the DCT datapath (Equation 1 applied to
 the DCT's additions and multiplications).
 
-Implemented as a thin wrapper over the :class:`~repro.core.study.Study`
-pipeline with the ``"jpeg"`` workload plugin.
+The sweep is expressed as a declarative design space over
+:mod:`repro.core.designspace` — sized and approximate adder axes — and
+:func:`jpeg_joint_frontier` extracts the joint MSSIM-versus-energy Pareto
+frontier (the paper's "hidden cost" comparison on the JPEG workload).
 """
 from __future__ import annotations
 
@@ -18,37 +20,38 @@ import numpy as np
 from ..apps.images import synthetic_image
 from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
+from ..core.designspace import DesignSpace, adder_axis, joint_adder_space
 from ..core.exploration import (
     sweep_aca_adders,
     sweep_etaiv_adders,
     sweep_rcaapx_adders,
-    sweep_rounded_adders,
-    sweep_truncated_adders,
-    unique_by_name,
 )
 from ..core.results import ExperimentResult
+from ..core.store import StoreLike
 from ..core.study import Study, SweepOutcome
 from ..operators.base import AdderOperator
 
 
+def jpeg_design_space(input_width: int = 16,
+                      reduced: bool = False) -> DesignSpace:
+    """The Figure 6 design space: sized and approximate adder axes joined.
+
+    The reduced configuration keeps the representative subset the quick
+    benchmark harness always used (slightly thinner than the FFT study's).
+    """
+    if not reduced:
+        return joint_adder_space(input_width)
+    approximate = list(sweep_aca_adders(input_width, [8, 14])) \
+        + list(sweep_etaiv_adders(input_width, [4, 8])) \
+        + list(sweep_rcaapx_adders(input_width, [4, 8], fa_types=(1, 3)))
+    return joint_adder_space(input_width, sized_widths=[15, 13, 11, 9],
+                             approximate=approximate)
+
+
 def default_jpeg_adder_sweep(input_width: int = 16,
                              reduced: bool = False) -> List[AdderOperator]:
-    """Adder configurations of Figure 6."""
-    if reduced:
-        adders: List[AdderOperator] = []
-        adders.extend(sweep_truncated_adders(input_width, [15, 13, 11, 9]))
-        adders.extend(sweep_rounded_adders(input_width, [15, 13, 11, 9]))
-        adders.extend(sweep_aca_adders(input_width, [8, 14]))
-        adders.extend(sweep_etaiv_adders(input_width, [4, 8]))
-        adders.extend(sweep_rcaapx_adders(input_width, [4, 8], fa_types=(1, 3)))
-        return unique_by_name(adders)
-    adders = []
-    adders.extend(sweep_truncated_adders(input_width))
-    adders.extend(sweep_rounded_adders(input_width))
-    adders.extend(sweep_aca_adders(input_width))
-    adders.extend(sweep_etaiv_adders(input_width))
-    adders.extend(sweep_rcaapx_adders(input_width, range(2, input_width, 2)))
-    return unique_by_name(adders)
+    """Adder configurations of Figure 6 (the design space's adder slots)."""
+    return [point.adder for point in jpeg_design_space(input_width, reduced)]
 
 
 def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
@@ -57,12 +60,15 @@ def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
                      image_size: int = 128, reduced: bool = False,
                      energy_model: Optional[DatapathEnergyModel] = None,
                      workers: int = 1,
-                     backend: BackendLike = "direct") -> ExperimentResult:
+                     backend: BackendLike = "direct",
+                     store: StoreLike = None) -> ExperimentResult:
     """Regenerate Figure 6 (DCT energy versus JPEG MSSIM, adders swept)."""
     if image is None:
         image = synthetic_image(image_size)
     if adders is None:
-        adders = default_jpeg_adder_sweep(input_width, reduced=reduced)
+        space = jpeg_design_space(input_width, reduced=reduced)
+    else:
+        space = adder_axis(adders)
 
     def row(point: SweepOutcome) -> dict:
         macs = max(point.counts.additions, 1)
@@ -75,10 +81,12 @@ def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
         )
 
     return (Study()
-            .workload("jpeg", quality=quality, image=image)
-            .adders(adders)
+            .workload("jpeg", quality=quality, image=image,
+                      data_width=input_width)
+            .design_space(space)
             .backend(backend)
             .energy(energy_model)
+            .store(store)
             .experiment(
                 "fig6_jpeg",
                 description=("JPEG encoding (quality 90): DCT datapath energy "
@@ -87,5 +95,61 @@ def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
                 columns=["adder", "multiplier", "mssim", "dct_energy_pj",
                          "energy_per_mac_pj"],
                 metadata={"quality": quality, "image_pixels": int(image.size)})
+            .rows(row)
+            .run(workers=workers))
+
+
+def jpeg_joint_frontier(image: Optional[np.ndarray] = None, quality: int = 90,
+                        input_width: int = 16, image_size: int = 128,
+                        reduced: bool = False,
+                        energy_model: Optional[DatapathEnergyModel] = None,
+                        workers: int = 1,
+                        backend: BackendLike = "direct",
+                        store: StoreLike = None) -> ExperimentResult:
+    """The paper's headline comparison on JPEG: a joint Pareto frontier.
+
+    Mirrors :func:`repro.experiments.fft_study.fft_joint_frontier` on the
+    JPEG workload — both populations (approximate adders, word-length-sized
+    exact datapaths with sizing-propagated multiplier energy) compete on
+    one MSSIM-versus-energy front, attached under
+    ``fronts["mssim_vs_total_energy_pj"]``.
+    """
+    if image is None:
+        image = synthetic_image(image_size)
+    space = jpeg_design_space(input_width, reduced=reduced)
+
+    def row(point: SweepOutcome) -> dict:
+        info = point.point.describe()
+        return dict(
+            design=info["design"],
+            axis=info["axis"],
+            word_length=info["word_length"],
+            adder=point.adder.name,
+            multiplier=point.multiplier.name,
+            mssim=point.metrics["mssim"],
+            adder_energy_pj=point.energy.adder_energy_pj,
+            multiplier_energy_pj=point.energy.multiplier_energy_pj,
+            total_energy_pj=point.energy.total_energy_pj,
+        )
+
+    return (Study()
+            .workload("jpeg", quality=quality, image=image,
+                      data_width=input_width)
+            .design_space(space)
+            .backend(backend)
+            .energy(energy_model)
+            .store(store)
+            .pareto(quality="mssim", cost="total_energy_pj")
+            .experiment(
+                "jpeg_joint_frontier",
+                description=("JPEG joint design space: approximate operators "
+                             "versus word-length-sized exact datapaths on one "
+                             "MSSIM-versus-energy frontier (the paper's "
+                             "headline comparison)"),
+                columns=["design", "axis", "word_length", "adder",
+                         "multiplier", "mssim", "adder_energy_pj",
+                         "multiplier_energy_pj", "total_energy_pj"],
+                metadata={"quality": quality, "image_pixels": int(image.size),
+                          "design_points": len(space)})
             .rows(row)
             .run(workers=workers))

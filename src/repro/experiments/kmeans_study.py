@@ -7,8 +7,8 @@ fixed-point run started from the same initial centroids, averaged over
 several generated point clouds (the paper uses 5 sets of 5000 points around
 10 random centres).
 
-Implemented as thin wrappers over the :class:`~repro.core.study.Study`
-pipeline with the ``"kmeans"`` workload plugin.
+Implemented as declarative design spaces over the
+:mod:`repro.core.designspace` engine with the ``"kmeans"`` workload plugin.
 """
 from __future__ import annotations
 
@@ -17,11 +17,14 @@ from typing import List, Optional, Sequence
 from ..apps.kmeans import PointCloud, generate_point_cloud
 from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
+from ..core.designspace import DesignSpace, adder_axis, multiplier_point
 from ..core.results import ExperimentResult
+from ..core.store import StoreLike
 from ..core.study import Study, SweepOutcome
 from ..operators.adders import (
     ACAAdder,
     ETAIVAdder,
+    ExactAdder,
     RCAApxAdder,
     TruncatedAdder,
 )
@@ -56,13 +59,33 @@ def default_point_clouds(runs: int = 5, points_per_run: int = 5000,
             for seed in range(runs)]
 
 
+def kmeans_adder_space(adders: Sequence[AdderOperator] = TABLE5_ADDERS
+                       ) -> DesignSpace:
+    """Table V as a design space (sizing-propagated multiplier pairing)."""
+    return adder_axis(adders)
+
+
+def kmeans_multiplier_space(
+        multipliers: Sequence[MultiplierOperator] = TABLE6_MULTIPLIERS
+) -> DesignSpace:
+    """Table VI as a design space.
+
+    Each multiplier is paired with the exact adder of its *own* operand
+    width (the paper's setup, and what the pre-design-space sweep charged).
+    """
+    return DesignSpace(
+        multiplier_point(multiplier, adder=ExactAdder(multiplier.input_width))
+        for multiplier in multipliers)
+
+
 def kmeans_adder_table(clouds: Optional[Sequence[PointCloud]] = None,
                        adders: Sequence[AdderOperator] = TABLE5_ADDERS,
                        runs: int = 3, points_per_run: int = 2000,
                        iterations: int = 8,
                        energy_model: Optional[DatapathEnergyModel] = None,
                        workers: int = 1,
-                       backend: BackendLike = "direct") -> ExperimentResult:
+                       backend: BackendLike = "direct",
+                       store: StoreLike = None) -> ExperimentResult:
     """Regenerate Table V (distance computation with the adders swapped)."""
     if clouds is None:
         clouds = default_point_clouds(runs, points_per_run)
@@ -79,9 +102,10 @@ def kmeans_adder_table(clouds: Optional[Sequence[PointCloud]] = None,
 
     return (Study()
             .workload("kmeans", clouds=tuple(clouds), iterations=iterations)
-            .adders(adders)
+            .design_space(kmeans_adder_space(adders))
             .backend(backend)
             .energy(energy_model)
+            .store(store)
             .experiment(
                 "table5_kmeans_adders",
                 description=("K-means distance computation with 16-bit adders "
@@ -101,7 +125,8 @@ def kmeans_multiplier_table(clouds: Optional[Sequence[PointCloud]] = None,
                             iterations: int = 8,
                             energy_model: Optional[DatapathEnergyModel] = None,
                             workers: int = 1,
-                            backend: BackendLike = "direct") -> ExperimentResult:
+                            backend: BackendLike = "direct",
+                            store: StoreLike = None) -> ExperimentResult:
     """Regenerate Table VI (distance computation with the multipliers swapped)."""
     if clouds is None:
         clouds = default_point_clouds(runs, points_per_run)
@@ -118,9 +143,10 @@ def kmeans_multiplier_table(clouds: Optional[Sequence[PointCloud]] = None,
 
     return (Study()
             .workload("kmeans", clouds=tuple(clouds), iterations=iterations)
-            .multipliers(multipliers)
+            .design_space(kmeans_multiplier_space(multipliers))
             .backend(backend)
             .energy(energy_model)
+            .store(store)
             .experiment(
                 "table6_kmeans_multipliers",
                 description=("K-means distance computation with 16-bit "

@@ -4,15 +4,18 @@
 conditions (random stimulus, 100 MHz) and the table reports power, delay,
 PDP, area, MSE (dB) and BER — the exact columns of Table I.
 
-Implemented as a thin wrapper over the :class:`~repro.core.study.Study`
-pipeline with the ``"characterization"`` workload plugin.
+Implemented as a declarative design space (bare-operator axis) over the
+:mod:`repro.core.designspace` engine with the ``"characterization"``
+workload plugin.
 """
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..core.designspace import operator_axis
 from ..core.exploration import default_multiplier_set
 from ..core.results import ExperimentResult
+from ..core.store import StoreLike
 from ..core.study import Study, SweepOutcome
 from ..operators.base import Operator
 
@@ -21,7 +24,8 @@ def multiplier_comparison(input_width: int = 16,
                           operators: Optional[Sequence[Operator]] = None,
                           error_samples: int = 50_000,
                           hardware_samples: int = 800,
-                          workers: int = 1) -> ExperimentResult:
+                          workers: int = 1,
+                          store: StoreLike = None) -> ExperimentResult:
     """Regenerate Table I."""
     if operators is None:
         operators = default_multiplier_set(input_width)
@@ -40,7 +44,8 @@ def multiplier_comparison(input_width: int = 16,
     return (Study()
             .workload("characterization", error_samples=error_samples,
                       hardware_samples=hardware_samples)
-            .operators(operators)
+            .design_space(operator_axis(operators))
+            .store(store)
             .experiment(
                 "table1_multipliers",
                 description=("16-bit fixed-width multipliers: power, delay, "

@@ -1,16 +1,21 @@
 """Run every reproduced experiment and collect the results.
 
 ``run_all`` regenerates each table and figure of the paper's evaluation
-section (plus the extension ablations) and returns a
-:class:`~repro.core.results.ResultBundle`; with an output directory it also
-writes one JSON file per experiment.  The ``reduced`` flag trades sweep
-density and workload size for runtime and is what the benchmark harness and
-the continuous tests use.
+section (plus the extension ablations and the joint design-space frontiers)
+and returns a :class:`~repro.core.results.ResultBundle`; with an output
+directory it also writes one JSON file per experiment.  The ``reduced`` flag
+trades sweep density and workload size for runtime and is what the benchmark
+harness and the continuous tests use.
 
-Every experiment is a thin wrapper over the :class:`~repro.core.study.Study`
-pipeline, so ``workers > 1`` parallelises each sweep over a process pool
-while the single shared :class:`~repro.core.datapath.DatapathEnergyModel`
-keeps hardware characterisation cached across all of them.
+Every experiment is a declarative design space over the
+:mod:`repro.core.designspace` engine, so ``workers > 1`` parallelises each
+sweep over a process pool while the single shared
+:class:`~repro.core.datapath.DatapathEnergyModel` keeps hardware
+characterisation cached across all of them.  ``store`` points at a
+persistent :class:`~repro.core.store.ResultStore` directory: hardware
+characterisations and sweep records found there are served from disk (so a
+re-run across sessions — or across CI steps, via ``actions/cache`` — skips
+re-synthesis and re-simulation), and fresh records are written back.
 """
 from __future__ import annotations
 
@@ -20,18 +25,20 @@ from typing import Optional, Union
 from ..core.backends import BackendLike
 from ..core.datapath import DatapathEnergyModel
 from ..core.results import ResultBundle
+from ..core.store import ResultStore, StoreLike
 from .ablations import multiplier_compensation_ablation, rounding_mode_ablation
 from .adders_study import adder_error_cost_study
-from .fft_study import fft_adder_sweep, fft_multiplier_comparison
+from .fft_study import fft_adder_sweep, fft_joint_frontier, fft_multiplier_comparison
 from .hevc_study import hevc_adder_table, hevc_multiplier_table
-from .jpeg_study import jpeg_adder_sweep
+from .jpeg_study import jpeg_adder_sweep, jpeg_joint_frontier
 from .kmeans_study import kmeans_adder_table, kmeans_multiplier_table
 from .multipliers_study import multiplier_comparison
 
 
 def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
             include_ablations: bool = True, workers: int = 1,
-            backend: BackendLike = "direct") -> ResultBundle:
+            backend: BackendLike = "direct",
+            store: StoreLike = None) -> ResultBundle:
     """Regenerate every table and figure of the paper.
 
     ``reduced=True`` (default) runs the laptop-scale configuration: thinner
@@ -41,10 +48,13 @@ def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
     ``workers`` fans each sweep's functional simulations out over a process
     pool; results are identical to the serial run.  ``backend`` selects the
     execution backend of every application-level sweep (``"direct"`` or
-    ``"lut"``); records are bit-identical across backends.
+    ``"lut"``); records are bit-identical across backends.  ``store`` (a
+    :class:`~repro.core.store.ResultStore` or directory path) persists
+    hardware characterisations and sweep records across sessions.
     """
     bundle = ResultBundle()
-    energy_model = DatapathEnergyModel()
+    store = ResultStore.of(store)
+    energy_model = DatapathEnergyModel(store=store)
 
     error_samples = 30_000 if reduced else 200_000
     image_size = 96 if reduced else 256
@@ -52,35 +62,47 @@ def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
     kmeans_points = 1500 if reduced else 5000
 
     bundle.add(adder_error_cost_study(error_samples=error_samples,
-                                      reduced=reduced, workers=workers))
+                                      reduced=reduced, workers=workers,
+                                      store=store))
     bundle.add(multiplier_comparison(error_samples=error_samples,
-                                     workers=workers))
+                                     workers=workers, store=store))
     bundle.add(fft_adder_sweep(reduced=reduced, energy_model=energy_model,
                                frames=4 if reduced else 16, workers=workers,
-                               backend=backend))
+                               backend=backend, store=store))
     bundle.add(fft_multiplier_comparison(energy_model=energy_model,
                                          frames=4 if reduced else 16,
-                                         workers=workers, backend=backend))
+                                         workers=workers, backend=backend,
+                                         store=store))
+    bundle.add(fft_joint_frontier(reduced=reduced, energy_model=energy_model,
+                                  frames=4 if reduced else 16,
+                                  workers=workers, backend=backend,
+                                  store=store))
     bundle.add(jpeg_adder_sweep(image_size=image_size, reduced=reduced,
                                 energy_model=energy_model, workers=workers,
-                                backend=backend))
+                                backend=backend, store=store))
+    bundle.add(jpeg_joint_frontier(image_size=image_size, reduced=reduced,
+                                   energy_model=energy_model, workers=workers,
+                                   backend=backend, store=store))
     bundle.add(hevc_adder_table(image_size=image_size, energy_model=energy_model,
-                                workers=workers, backend=backend))
+                                workers=workers, backend=backend, store=store))
     bundle.add(hevc_multiplier_table(image_size=image_size,
                                      energy_model=energy_model,
-                                     workers=workers, backend=backend))
+                                     workers=workers, backend=backend,
+                                     store=store))
     bundle.add(kmeans_adder_table(runs=kmeans_runs, points_per_run=kmeans_points,
                                   energy_model=energy_model, workers=workers,
-                                  backend=backend))
+                                  backend=backend, store=store))
     bundle.add(kmeans_multiplier_table(runs=kmeans_runs,
                                        points_per_run=kmeans_points,
                                        energy_model=energy_model,
-                                       workers=workers, backend=backend))
+                                       workers=workers, backend=backend,
+                                       store=store))
     if include_ablations:
         bundle.add(multiplier_compensation_ablation(error_samples=error_samples,
-                                                    workers=workers))
+                                                    workers=workers,
+                                                    store=store))
         bundle.add(rounding_mode_ablation(error_samples=error_samples,
-                                          workers=workers))
+                                          workers=workers, store=store))
 
     if output_dir is not None:
         bundle.save_all(output_dir)

@@ -64,7 +64,12 @@ class HardwareReport:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        """Serialisable summary (used by the experiment result files)."""
+        """Serialisable summary (used by the experiment result files).
+
+        Together with :meth:`from_dict` this round-trips the full report,
+        which is how the persistent result store rehydrates hardware
+        characterisations across sessions.
+        """
         return {
             "operator": self.operator,
             "family": self.family,
@@ -75,6 +80,33 @@ class HardwareReport:
             "leakage_mw": self.leakage_mw,
             "frequency_hz": self.frequency_hz,
             "gate_count": self.gate_count,
+            "gate_histogram": dict(self.gate_histogram),
             "params": dict(self.params),
             "calibrated": self.calibrated,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> Optional["HardwareReport"]:
+        """Rehydrate a report from :meth:`to_dict` output.
+
+        Returns ``None`` (a cache miss, never an exception) when the
+        payload is structurally unusable — e.g. a truncated or hand-edited
+        store record.
+        """
+        try:
+            return cls(
+                operator=str(data["operator"]),
+                family=str(data["family"]),
+                area_um2=float(data["area_um2"]),          # type: ignore[arg-type]
+                delay_ns=float(data["delay_ns"]),          # type: ignore[arg-type]
+                power_mw=float(data["power_mw"]),          # type: ignore[arg-type]
+                leakage_mw=float(data["leakage_mw"]),      # type: ignore[arg-type]
+                frequency_hz=float(data["frequency_hz"]),  # type: ignore[arg-type]
+                gate_histogram={str(gate): int(count)      # type: ignore[arg-type]
+                                for gate, count
+                                in dict(data.get("gate_histogram", {})).items()},
+                params=dict(data.get("params", {})),       # type: ignore[arg-type]
+                calibrated=bool(data.get("calibrated", True)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None

@@ -9,7 +9,7 @@ error rate is misleading.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,11 +54,38 @@ DEFAULT_MAA_THRESHOLDS: Tuple[float, ...] = (0.90, 0.95, 0.98, 0.99, 0.999)
 
 
 def acceptance_curve(reference: np.ndarray, approximate: np.ndarray,
-                     thresholds: Sequence[float] = DEFAULT_MAA_THRESHOLDS
+                     maa_grid: Optional[Sequence[float]] = None,
+                     thresholds: Optional[Sequence[float]] = None
                      ) -> AcceptanceCurve:
-    """Acceptance probability for each MAA threshold."""
-    probabilities = tuple(
-        acceptance_probability(reference, approximate, threshold)
-        for threshold in thresholds
-    )
-    return AcceptanceCurve(thresholds=tuple(thresholds), probabilities=probabilities)
+    """Acceptance probability over a whole grid of MAA thresholds, in one pass.
+
+    The per-sample accuracies are computed once and sorted; each
+    threshold's acceptance probability is then a single binary search
+    (``count(accuracy >= t) / n``), so a dense MAA grid — e.g. the quality
+    axis of a design-space Pareto front — costs one pass over the error
+    array instead of one pass per threshold.  Results are exactly
+    :func:`acceptance_probability` evaluated per threshold.
+
+    ``maa_grid`` is the threshold grid (``thresholds`` is accepted as an
+    alias; defaults to :data:`DEFAULT_MAA_THRESHOLDS`).
+    """
+    if maa_grid is not None and thresholds is not None:
+        raise TypeError("pass either maa_grid or thresholds, not both")
+    grid = maa_grid if maa_grid is not None else thresholds
+    if grid is None:
+        grid = DEFAULT_MAA_THRESHOLDS
+    grid_array = np.asarray(list(grid), dtype=np.float64)
+    # NaN fails the inclusive check too, matching acceptance_probability.
+    if grid_array.size and not bool(
+            np.all((grid_array >= 0.0) & (grid_array <= 1.0))):
+        raise ValueError("MAA must lie in [0, 1]")
+    accuracy = np.sort(result_accuracy(reference, approximate), axis=None)
+    total = accuracy.size
+    if total == 0:
+        probabilities = np.zeros(grid_array.shape)
+    else:
+        # count(accuracy >= t) via the left insertion point of t.
+        probabilities = (total - np.searchsorted(accuracy, grid_array,
+                                                 side="left")) / total
+    return AcceptanceCurve(thresholds=tuple(float(t) for t in grid_array),
+                           probabilities=tuple(float(p) for p in probabilities))

@@ -25,7 +25,10 @@ class CharacterizationWorkload(Workload):
     Metrics: ``mse_db``, ``ber``, ``bias``, ``power_mw``, ``delay_ns``,
     ``pdp_pj``, ``area_um2``.  The full
     :class:`~repro.core.characterization.OperatorCharacterization` record is
-    available under ``details["characterization"]``.
+    available under ``details["characterization"]`` in its serialised
+    (``to_dict``) form — keeping the result JSON-safe is what lets the
+    persistent result store skip whole characterisation sweeps across
+    sessions.
     """
 
     error_samples: int = 100_000
@@ -63,5 +66,5 @@ class CharacterizationWorkload(Workload):
                      "pdp_pj": record.pdp_pj,
                      "area_um2": record.area_um2},
             counts=OperationCounts(),
-            details={"characterization": record},
+            details={"characterization": record.to_dict()},
         )

@@ -52,8 +52,11 @@ class FftWorkload(Workload):
         size = int(config["size"])
         width = int(config["data_width"])
         base_seed = int(config.get("seed", 0))
+        # Stimulus codes live on the datapath grid: Q1.(width-1) fractions
+        # (identical to the seed setup at the default 16-bit width).
         signals = [random_q15_signal(size, amplitude=float(config["amplitude"]),
-                                     seed=base_seed + frame)
+                                     seed=base_seed + frame,
+                                     frac_bits=width - 1)
                    for frame in range(int(config["frames"]))]
         fft = FixedPointFFT(size, width,
                             context=operators.context(data_width=width),

@@ -26,26 +26,36 @@ class HevcWorkload(Workload):
     horizontal_phase: int = 2
     vertical_phase: int = 2
     image: Optional[np.ndarray] = None
+    #: Word length of the interpolation datapath (the design-space
+    #: word-length axis).  The quality reference stays the full-precision
+    #: 16-bit exact filter, so an undersized exact datapath exposes its own
+    #: quality cost.
+    data_width: int = 16
     #: ``False`` replays the seed-style per-tap loops (bit-identical;
     #: kept for equivalence tests and benchmarks).
     fused: bool = True
 
     name = "hevc"
 
+    #: Reference word length for the quality metric.
+    REFERENCE_WIDTH = 16
+
     def default_config(self) -> Dict[str, object]:
         return {"size": self.size, "horizontal_phase": self.horizontal_phase,
                 "vertical_phase": self.vertical_phase, "image": self.image,
-                "fused": self.fused}
+                "data_width": self.data_width, "fused": self.fused}
 
     def run(self, operators: OperatorMap, config: Mapping[str, object],
             rng: np.random.Generator) -> WorkloadResult:
         image = config.get("image")
         if image is None:
             image = synthetic_image(int(config["size"]))
+        width = int(config["data_width"])
         score, counts = mc_quality_score(
-            image, context=operators.context(),
+            image, context=operators.context(data_width=width),
             horizontal_phase=int(config["horizontal_phase"]),
             vertical_phase=int(config["vertical_phase"]),
-            fused=bool(config["fused"]))
+            fused=bool(config["fused"]),
+            reference_width=max(width, self.REFERENCE_WIDTH))
         return WorkloadResult(metrics={"mssim": score}, counts=counts,
                               details={"image_pixels": int(image.size)})

@@ -46,6 +46,10 @@ class JpegWorkload(Workload):
     quality: int = 90
     frames: int = 1
     image: Optional[np.ndarray] = None
+    #: Word length of the DCT datapath (the design-space word-length axis).
+    #: The quality reference always stays the full-precision 16-bit exact
+    #: encoder, so narrower datapaths expose their own quality cost.
+    data_width: int = 16
     #: ``False`` replays the seed-style per-coefficient DCT loops
     #: (bit-identical; kept for equivalence tests and benchmarks).
     fused: bool = True
@@ -55,7 +59,7 @@ class JpegWorkload(Workload):
     def default_config(self) -> Dict[str, object]:
         return {"size": self.size, "quality": self.quality,
                 "frames": self.frames, "image": self.image,
-                "fused": self.fused}
+                "data_width": self.data_width, "fused": self.fused}
 
     def run(self, operators: OperatorMap, config: Mapping[str, object],
             rng: np.random.Generator) -> WorkloadResult:
@@ -63,7 +67,10 @@ class JpegWorkload(Workload):
         frames = max(1, int(config["frames"]))
         base_seed = int(config.get("seed", 0))
         fixed_image = config.get("image")
-        encoder = JpegEncoder(quality=quality, context=operators.context(),
+        width = int(config["data_width"])
+        encoder = JpegEncoder(quality=quality,
+                              context=operators.context(data_width=width),
+                              data_width=width,
                               fused=bool(config["fused"]))
 
         scores = []

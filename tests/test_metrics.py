@@ -147,6 +147,36 @@ class TestAcceptance:
         with pytest.raises(ValueError):
             acceptance_probability(np.array([1]), np.array([1]), 1.5)
 
+    def test_curve_matches_scalar_probability_on_dense_grid(self):
+        """The vectorised one-pass curve is exactly the scalar metric."""
+        rng = np.random.default_rng(7)
+        x = rng.integers(-500, 1000, 5000)
+        noisy = x + rng.integers(-80, 80, 5000)
+        grid = np.linspace(0.0, 1.0, 101)
+        curve = acceptance_curve(x, noisy, maa_grid=grid)
+        for threshold, probability in zip(curve.thresholds,
+                                          curve.probabilities):
+            assert probability == acceptance_probability(x, noisy, threshold)
+
+    def test_curve_grid_validation_and_aliases(self):
+        x = np.array([1, 2, 3])
+        with pytest.raises(ValueError):
+            acceptance_curve(x, x, maa_grid=[0.5, 1.5])
+        with pytest.raises(ValueError):
+            acceptance_curve(x, x, maa_grid=[float("nan")])
+        with pytest.raises(TypeError):
+            acceptance_curve(x, x, maa_grid=[0.5], thresholds=[0.5])
+        # Positional grid and the legacy thresholds= keyword agree.
+        assert acceptance_curve(x, x, [0.9]).probabilities == \
+            acceptance_curve(x, x, thresholds=[0.9]).probabilities
+
+    def test_curve_default_grid_and_empty_input(self):
+        x = np.array([10, 20])
+        curve = acceptance_curve(x, x)
+        assert curve.thresholds == (0.90, 0.95, 0.98, 0.99, 0.999)
+        empty = acceptance_curve(np.array([]), np.array([]), maa_grid=[0.9])
+        assert empty.probabilities == (0.0,)
+
 
 class TestSpectral:
     def test_pdf_integrates_to_one(self):

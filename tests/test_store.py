@@ -1,0 +1,202 @@
+"""Tests for the persistent result store and result serialisation round-trips."""
+import json
+
+import numpy as np
+import pytest
+
+from repro import Study
+from repro.core import DatapathEnergyModel, ExperimentResult, ResultStore
+from repro.core.designspace import adder_axis
+from repro.core.store import STORE_VERSION, canonical_key, key_digest
+from repro.hardware.report import HardwareReport
+from repro.operators.adders import TruncatedAdder
+
+
+class TestCanonicalKeys(object):
+    def test_arrays_fingerprint_by_content(self):
+        a = np.arange(6).reshape(2, 3)
+        b = np.arange(6).reshape(2, 3)
+        assert canonical_key(a) == canonical_key(b)
+        assert canonical_key(a) != canonical_key(b.T)
+
+    def test_dict_order_is_irrelevant(self):
+        assert key_digest("k", {"a": 1, "b": 2}) == key_digest("k", {"b": 2, "a": 1})
+
+    def test_numpy_scalars_unwrap(self):
+        assert canonical_key(np.int64(3)) == 3
+        assert canonical_key(np.float64(0.5)) == 0.5
+
+    def test_dataclasses_canonicalise_by_field(self):
+        from repro.apps.kmeans import generate_point_cloud
+
+        one = canonical_key(generate_point_cloud(50, 3, seed=1))
+        two = canonical_key(generate_point_cloud(50, 3, seed=1))
+        other = canonical_key(generate_point_cloud(50, 3, seed=2))
+        assert one == two
+        assert one != other
+
+
+class TestResultStore(object):
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = {"operator": "ADDt(16,10)", "samples": 100}
+        assert store.load("hardware", key) is None
+        store.save("hardware", key, {"pdp_pj": 1.5})
+        assert store.load("hardware", key) == {"pdp_pj": 1.5}
+        assert store.contains("hardware", key)
+        assert store.entry_count("hardware") == 1
+
+    def test_corrupt_file_is_clean_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = {"x": 1}
+        path = store.save("sweep", key, {"metrics": {"m": 1.0}})
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.load("sweep", key) is None
+
+    def test_partial_and_garbage_files_are_clean_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = {"x": 2}
+        path = store.path_for("sweep", key)
+        path.parent.mkdir(parents=True)
+        for garbage in ("", "{", "null", "[1, 2]", '{"store_version": 999}'):
+            path.write_text(garbage)
+            assert store.load("sweep", key) is None
+
+    def test_key_mismatch_is_clean_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("sweep", {"x": 3}, {"metrics": {}})
+        # Move the record under another key's digest: the embedded key no
+        # longer matches, so the (hypothetical) collision reads as a miss.
+        store.path_for("sweep", {"x": 3}).rename(store.path_for("sweep", {"x": 4}))
+        assert store.load("sweep", {"x": 4}) is None
+
+    def test_wrong_version_is_clean_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = {"x": 5}
+        path = store.save("sweep", key, {"metrics": {}})
+        document = json.loads(path.read_text())
+        assert document["store_version"] == STORE_VERSION
+        document["store_version"] = STORE_VERSION + 1
+        path.write_text(json.dumps(document))
+        assert store.load("sweep", key) is None
+
+    def test_unserialisable_payload_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.save("sweep", {"x": 6}, {"payload": object()}) is None
+        assert store.entry_count() == 0
+
+
+class TestHardwareReportRoundTrip(object):
+    def test_round_trip(self):
+        report = HardwareReport(
+            operator="ADDt(16,10)", family="adder", area_um2=10.0,
+            delay_ns=0.5, power_mw=0.2, leakage_mw=0.01, frequency_hz=1e8,
+            gate_histogram={"XOR2": 3}, params={"k": 10}, calibrated=True)
+        clone = HardwareReport.from_dict(report.to_dict())
+        assert clone == report
+        assert clone.pdp_pj == report.pdp_pj
+
+    def test_malformed_payload_is_none(self):
+        assert HardwareReport.from_dict({}) is None
+        assert HardwareReport.from_dict({"operator": "x"}) is None
+
+
+class TestEnergyModelStore(object):
+    def test_characterisation_persists_across_models(self, tmp_path):
+        store = ResultStore(tmp_path)
+        adder = TruncatedAdder(16, 10)
+        first = DatapathEnergyModel(hardware_samples=200, store=store)
+        report = first.report_for(adder)
+        assert store.entry_count("hardware") == 1
+        # A fresh model (fresh in-process cache) must hit the store and
+        # reproduce the exact report without re-characterising.
+        second = DatapathEnergyModel(hardware_samples=200, store=store)
+        assert second.report_for(adder) == report
+
+    def test_different_sample_counts_do_not_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        adder = TruncatedAdder(16, 10)
+        DatapathEnergyModel(hardware_samples=200, store=store).report_for(adder)
+        DatapathEnergyModel(hardware_samples=300, store=store).report_for(adder)
+        assert store.entry_count("hardware") == 2
+
+
+class TestStudyStore(object):
+    def _study(self, store):
+        return (Study()
+                .workload("fft", size=16, frames=2)
+                .design_space(adder_axis([TruncatedAdder(16, 12),
+                                          TruncatedAdder(16, 10)]))
+                .energy(DatapathEnergyModel(hardware_samples=200))
+                .seed(11)
+                .store(store))
+
+    def test_warm_run_is_bit_identical(self, tmp_path):
+        cold = self._study(tmp_path).run()
+        assert cold.metadata["store_hits"] == 0
+        warm = self._study(tmp_path).run()
+        assert warm.metadata["store_hits"] == 2
+        assert warm.rows == cold.rows
+
+    def test_different_seed_misses(self, tmp_path):
+        self._study(tmp_path).run()
+        other = self._study(tmp_path).seed(12).run()
+        assert other.metadata["store_hits"] == 0
+
+    def test_shared_energy_model_is_not_captured_by_a_store(self, tmp_path):
+        # A store-less model offered a study's store must come back
+        # store-less, so a later study can offer its own directory.
+        model = DatapathEnergyModel(hardware_samples=200)
+        (Study()
+         .workload("fft", size=16, frames=2)
+         .design_space(adder_axis([TruncatedAdder(16, 12)]))
+         .energy(model)
+         .seed(11)
+         .store(tmp_path / "a")
+         .run())
+        assert model.store is None
+        assert ResultStore(tmp_path / "a").entry_count("hardware") >= 1
+
+    def test_corrupt_sweep_record_recomputes(self, tmp_path):
+        cold = self._study(tmp_path).run()
+        store = ResultStore(tmp_path)
+        for record in (tmp_path / "sweep").glob("*.json"):
+            record.write_text("not json at all")
+        again = self._study(tmp_path).run()
+        assert again.metadata["store_hits"] == 0
+        assert again.rows == cold.rows
+        assert store.entry_count("sweep") == 2  # rewritten atomically
+
+
+class TestExperimentResultJson(object):
+    def _result(self):
+        result = ExperimentResult(
+            experiment="demo", description="round trip",
+            columns=["name", "value", "vector"])
+        result.add_row(name="a", value=np.float64(1.5),
+                       vector=np.array([1, 2, 3]))
+        result.add_row(name="b", value=np.int32(7), vector=np.array([4.5]))
+        return result
+
+    def test_numpy_scalars_and_arrays_round_trip(self, tmp_path):
+        path = self._result().save_json(tmp_path / "demo.json")
+        loaded = ExperimentResult.load_json(path)
+        assert loaded.column("value") == [1.5, 7]
+        assert loaded.column("vector") == [[1, 2, 3], [4.5]]
+        assert loaded.experiment == "demo"
+
+    def test_python_round_trip_is_identity(self, tmp_path):
+        result = ExperimentResult(
+            experiment="plain", description="no numpy",
+            columns=["x", "y"], metadata={"seed": 3})
+        result.add_row(x=1, y=0.25)
+        path = result.save_json(tmp_path / "plain.json")
+        loaded = ExperimentResult.load_json(path)
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_unserialisable_cell_raises(self, tmp_path):
+        result = ExperimentResult(experiment="bad", description="",
+                                  columns=["x"])
+        result.add_row(x=object())
+        with pytest.raises(TypeError):
+            result.save_json(tmp_path / "bad.json")
