@@ -7,7 +7,6 @@ line by line with the publication.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
 """
-import numpy as np
 import pytest
 
 

@@ -1,0 +1,5 @@
+"""Entry point of ``python -m repro`` (see :mod:`repro.cli`)."""
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

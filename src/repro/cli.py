@@ -1,0 +1,297 @@
+"""``python -m repro`` — the reproduction's command-line front end.
+
+Four subcommands wrap the experiment registry behind machine-readable JSON
+output (one document on stdout; progress and diagnostics go to stderr):
+
+* ``run`` — execute the suite (or a named subset), optionally one
+  deterministic shard of it (``--shard i/n``), with per-point
+  checkpointing (``--store``) and a run directory of per-experiment JSON
+  artifacts plus a manifest (``--out``).  A killed run re-invoked with the
+  same ``--store`` resumes where it stopped.
+* ``merge`` — fold shard run directories back into one whole-suite result
+  (rows and Pareto fronts bit-identical to an unsharded run), optionally
+  folding the shards' stores into one (``--store``) and gating against a
+  golden unsharded run (``--golden``, non-zero exit on any divergence).
+* ``list`` — the experiment registry, names and titles.
+* ``bench`` — wall-clock comparison of the execution backends on a named
+  experiment, the CLI face of ``benchmarks/perf_bench.py``'s quick mode.
+
+The fan-out/fan-in CI workflow is literally ``run --shard i/n`` in an
+``n``-way job matrix followed by one ``merge --golden`` job.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .core.backends import backend_spec, registered_backends
+from .core.study import parse_shard, resolve_workers
+
+PROG = "python -m repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (also what the README snippet test walks)."""
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Sharded, resumable runner for the reproduced "
+                    "experiment suite.")
+    from . import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    run = commands.add_parser(
+        "run", help="run the experiment suite (or one shard of it)",
+        description="Run all or selected experiments; every completed sweep "
+                    "point is checkpointed to --store, so re-running after "
+                    "a kill resumes instead of recomputing.")
+    run.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                     help="experiment names (default: the whole suite; "
+                          "see 'list')")
+    run.add_argument("--reduced", dest="reduced", action="store_true",
+                     help="laptop-scale sweep densities (the default)")
+    run.add_argument("--full", dest="reduced", action="store_false",
+                     help="the paper's full sweep densities")
+    run.set_defaults(reduced=True)
+    run.add_argument("--shard", metavar="I/N", default=None,
+                     help="run only shard I of N (deterministic round-robin "
+                          "partition of every experiment's design points)")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="process-pool workers per sweep (capped at the "
+                          "CPU count; REPRO_WORKERS overrides)")
+    run.add_argument("--backend", default="direct", metavar="SPEC",
+                     help="execution backend of the application sweeps "
+                          "(e.g. 'direct', 'lut'; records are bit-identical)")
+    run.add_argument("--store", metavar="DIR", default=None,
+                     help="persistent result store: checkpoints every sweep "
+                          "point and serves completed ones on re-runs")
+    run.add_argument("--out", metavar="DIR", default=None,
+                     help="write <experiment>.json artifacts plus "
+                          "manifest.json under DIR")
+    run.add_argument("--no-ablations", dest="ablations", action="store_false",
+                     help="skip the extension ablation experiments")
+
+    merge = commands.add_parser(
+        "merge", help="fold shard run directories into one result",
+        description="Merge the outputs of 'run --shard i/n' jobs; rows and "
+                    "Pareto fronts are bit-identical to an unsharded run "
+                    "and the disjoint-cover property is validated.")
+    merge.add_argument("inputs", nargs="+", metavar="DIR",
+                       help="shard output directories (from 'run --out')")
+    merge.add_argument("--out", metavar="DIR", default=None,
+                       help="write the merged artifacts plus manifest.json "
+                            "under DIR")
+    merge.add_argument("--store", metavar="DIR", default=None,
+                       help="fold every shard's .repro_store into DIR")
+    merge.add_argument("--golden", metavar="DIR", default=None,
+                       help="compare the merged rows and fronts against a "
+                            "golden (unsharded) run directory; exit non-zero "
+                            "on any divergence")
+
+    lister = commands.add_parser(
+        "list", help="list the experiment registry",
+        description="The experiment registry: selection names for 'run' "
+                    "with one-line titles.")
+    lister.add_argument("--no-ablations", dest="ablations",
+                        action="store_false",
+                        help="hide the extension ablation experiments")
+
+    bench = commands.add_parser(
+        "bench", help="time the execution backends on one experiment",
+        description="Run one experiment per execution backend and report "
+                    "wall seconds plus record identity — a quick CLI "
+                    "counterpart of benchmarks/perf_bench.py.")
+    bench.add_argument("--experiment", default="fft_joint_frontier",
+                       metavar="NAME",
+                       help="experiment to time (default: %(default)s)")
+    bench.add_argument("--backends", nargs="+", default=["direct", "lut"],
+                       metavar="SPEC",
+                       help="backends to compare (default: direct lut)")
+    bench.add_argument("--full", dest="reduced", action="store_false",
+                       help="time the full sweep density instead of the "
+                            "reduced one")
+    bench.set_defaults(reduced=True)
+    bench.add_argument("--output", metavar="PATH", default=None,
+                       help="also write the JSON document to PATH")
+    return parser
+
+
+def _emit(document: Dict[str, object],
+          output: Optional[str] = None) -> None:
+    text = json.dumps(document, indent=2, sort_keys=True)
+    try:
+        print(text)
+    except BrokenPipeError:  # e.g. piped into `head`; not an error
+        pass
+    if output is not None:
+        Path(output).write_text(text + "\n")
+
+
+def _log(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    shard = parse_shard(args.shard)
+    experiments = args.experiments or None
+    started = time.perf_counter()
+    bundle = run_all(output_dir=args.out, reduced=args.reduced,
+                     include_ablations=args.ablations, workers=args.workers,
+                     backend=args.backend, store=args.store, shard=shard,
+                     experiments=experiments)
+    seconds = time.perf_counter() - started
+    _log(f"ran {len(bundle.results)} experiments in {seconds:.1f}s"
+         + (f" (shard {shard[0]}/{shard[1]})" if shard else ""))
+    document = {
+        "command": "run",
+        "seconds": round(seconds, 3),
+        "workers": resolve_workers(args.workers),
+        "store": args.store,
+        "out": args.out,
+        **bundle.manifest(),
+    }
+    _emit(document)
+    return 0
+
+
+def _compare_to_golden(merged, golden_dir: str) -> List[Dict[str, object]]:
+    """Row/front divergences of the merged bundle against a golden run."""
+    from .core.results import ResultBundle
+
+    golden = ResultBundle.load_dir(golden_dir)
+    mismatches: List[Dict[str, object]] = []
+    for name in sorted(set(golden.results) | set(merged.results)):
+        if name not in golden.results or name not in merged.results:
+            mismatches.append({"experiment": name,
+                               "kind": "missing",
+                               "present_in": "merged" if name in merged.results
+                               else "golden"})
+            continue
+        golden_result = golden.get(name)
+        merged_result = merged.get(name)
+        if merged_result.rows != golden_result.rows:
+            differing = [index for index, (a, b)
+                         in enumerate(zip(merged_result.rows,
+                                          golden_result.rows)) if a != b]
+            mismatches.append({
+                "experiment": name, "kind": "rows",
+                "merged_rows": len(merged_result.rows),
+                "golden_rows": len(golden_result.rows),
+                "first_differing_indices": differing[:8],
+            })
+        merged_fronts = {key: front.to_dict()
+                         for key, front in merged_result.fronts.items()}
+        golden_fronts = {key: front.to_dict()
+                         for key, front in golden_result.fronts.items()}
+        if merged_fronts != golden_fronts:
+            mismatches.append({"experiment": name, "kind": "fronts",
+                               "merged": sorted(merged_fronts),
+                               "golden": sorted(golden_fronts)})
+    return mismatches
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from .experiments import merge_run
+
+    started = time.perf_counter()
+    merged = merge_run(args.inputs, output_dir=args.out, store=args.store)
+    document: Dict[str, object] = {
+        "command": "merge",
+        "inputs": list(args.inputs),
+        "out": args.out,
+        "seconds": round(time.perf_counter() - started, 3),
+        **merged.manifest(),
+    }
+    status = 0
+    if args.golden is not None:
+        mismatches = _compare_to_golden(merged, args.golden)
+        document["golden"] = args.golden
+        document["identical_to_golden"] = not mismatches
+        if mismatches:
+            document["mismatches"] = mismatches
+            _log(f"FAIL: merged result diverges from the golden run in "
+                 f"{len(mismatches)} place(s)")
+            status = 1
+        else:
+            _log("merged rows and fronts are bit-identical to the golden run")
+    _emit(document)
+    return status
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS, experiment_names
+
+    names = experiment_names(include_ablations=args.ablations)
+    _emit({
+        "command": "list",
+        "experiments": [
+            {"name": name, "title": EXPERIMENTS[name].title,
+             "ablation": EXPERIMENTS[name].ablation}
+            for name in names
+        ],
+    })
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .core.backends import clear_table_cache
+    from .experiments import run_all
+
+    runs: Dict[str, Dict[str, object]] = {}
+    rows_by_backend: Dict[str, List[Dict[str, object]]] = {}
+    for backend in args.backends:
+        clear_table_cache()
+        started = time.perf_counter()
+        bundle = run_all(reduced=args.reduced, backend=backend,
+                         experiments=[args.experiment])
+        seconds = time.perf_counter() - started
+        result = bundle.get(args.experiment)
+        rows_by_backend[backend_spec(backend)] = result.rows
+        runs[backend_spec(backend)] = {"seconds": round(seconds, 4),
+                                       "rows": len(result.rows)}
+        _log(f"{args.experiment} on {backend!r}: {seconds:.2f}s")
+    baseline = backend_spec(args.backends[0])
+    for backend, record in runs.items():
+        record["speedup"] = round(
+            runs[baseline]["seconds"] / record["seconds"], 2) \
+            if record["seconds"] else None
+    identical = all(rows == rows_by_backend[baseline]
+                    for rows in rows_by_backend.values())
+    document = {
+        "command": "bench",
+        "experiment": args.experiment,
+        "reduced": args.reduced,
+        "available_backends": sorted(registered_backends()),
+        "backends": runs,
+        "identical_records": identical,
+    }
+    _emit(document, output=args.output)
+    if not identical:
+        _log("FAIL: backend records diverged")
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
+    handlers = {"run": _cmd_run, "merge": _cmd_merge,
+                "list": _cmd_list, "bench": _cmd_bench}
+    try:
+        return handlers[args.command](args)
+    except (ValueError, FileNotFoundError) as error:
+        _log(f"error: {error}")
+        return 2

@@ -262,19 +262,132 @@ class ExperimentResult:
         return target
 
     @classmethod
-    def load_json(cls, path: Union[str, Path]) -> "ExperimentResult":
-        data = json.loads(Path(path).read_text())
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
         result = cls(
-            experiment=data["experiment"],
-            description=data["description"],
-            columns=list(data["columns"]),
-            metadata=dict(data.get("metadata", {})),
+            experiment=data["experiment"],  # type: ignore[arg-type]
+            description=data["description"],  # type: ignore[arg-type]
+            columns=list(data["columns"]),  # type: ignore[call-overload]
+            metadata=dict(data.get("metadata", {})),  # type: ignore[arg-type]
         )
-        for row in data.get("rows", []):
+        for row in data.get("rows", []):  # type: ignore[union-attr]
             result.rows.append(dict(row))
-        for key, front in data.get("fronts", {}).items():
+        for key, front in data.get("fronts", {}).items():  # type: ignore[union-attr]
             result.fronts[key] = ParetoFront.from_dict(front)
         return result
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "ExperimentResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------ #
+    # Shard merging
+    # ------------------------------------------------------------------ #
+    @property
+    def shard(self) -> Optional[Dict[str, object]]:
+        """The shard annotation a sharded Study run left in the metadata."""
+        shard = self.metadata.get("shard")
+        return shard if isinstance(shard, dict) else None
+
+    @classmethod
+    def merge_shards(cls, parts: Sequence["ExperimentResult"]
+                     ) -> "ExperimentResult":
+        """Fold shard results of one experiment back into the whole.
+
+        Every part carries the global sweep indices of its rows
+        (``metadata["shard"]["sweep_indices"]``, written by
+        ``Study.shard``); the merge validates that the parts are a
+        *disjoint cover* of the full point set, places each row at its
+        global index, and recomputes every attached Pareto front over the
+        reassembled row list.  Rows, fronts and metadata are bit-identical
+        to an unsharded run of the same sweep (``store_hits`` counters, an
+        execution detail, are summed).  A single unsharded result passes
+        through as a copy.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merge_shards needs at least one result")
+        first = parts[0]
+        for part in parts[1:]:
+            if part.experiment != first.experiment:
+                raise ValueError(
+                    f"cannot merge different experiments "
+                    f"{first.experiment!r} and {part.experiment!r}")
+            if part.columns != first.columns:
+                raise ValueError(
+                    f"{first.experiment}: shard column mismatch "
+                    f"({first.columns} vs {part.columns})")
+        if all(part.shard is None for part in parts):
+            if len(parts) != 1:
+                raise ValueError(
+                    f"{first.experiment}: multiple unsharded results cannot "
+                    f"be merged")
+            return cls._copy_of(first)
+        if any(part.shard is None for part in parts):
+            raise ValueError(
+                f"{first.experiment}: mixing sharded and unsharded results")
+
+        totals = {int(part.shard["sweep_points"]) for part in parts}
+        if len(totals) != 1:
+            raise ValueError(
+                f"{first.experiment}: shards disagree on the sweep size "
+                f"({sorted(totals)})")
+        total = totals.pop()
+        rows: List[Optional[Dict[str, object]]] = [None] * total
+        for part in parts:
+            indices = [int(i) for i in part.shard["sweep_indices"]]
+            if len(indices) != len(part.rows):
+                raise ValueError(
+                    f"{first.experiment}: shard "
+                    f"{part.shard.get('index')}/{part.shard.get('count')} "
+                    f"has {len(part.rows)} rows for {len(indices)} indices")
+            for index, row in zip(indices, part.rows):
+                if not 0 <= index < total:
+                    raise ValueError(
+                        f"{first.experiment}: sweep index {index} out of "
+                        f"range for {total} points")
+                if rows[index] is not None:
+                    raise ValueError(
+                        f"{first.experiment}: sweep index {index} covered "
+                        f"by more than one shard")
+                rows[index] = dict(row)
+        missing = [index for index, row in enumerate(rows) if row is None]
+        if missing:
+            raise ValueError(
+                f"{first.experiment}: shards do not cover the sweep — "
+                f"missing indices {missing[:8]}"
+                f"{'...' if len(missing) > 8 else ''}")
+
+        metadata = {key: value for key, value in first.metadata.items()
+                    if key != "shard"}
+        if any("store_hits" in part.metadata for part in parts):
+            metadata["store_hits"] = sum(
+                int(part.metadata.get("store_hits", 0)) for part in parts)
+
+        merged = cls(experiment=first.experiment,
+                     description=first.description,
+                     columns=list(first.columns), metadata=metadata)
+        for row in rows:
+            merged.rows.append(row)  # type: ignore[arg-type]
+        front_keys = {key for part in parts for key in part.fronts}
+        for key in sorted(front_keys):
+            template = next(part.fronts[key] for part in parts
+                            if key in part.fronts)
+            merged.fronts[key] = ParetoFront.from_rows(
+                merged.rows, template.quality_column, template.cost_column,
+                maximize_quality=template.maximize_quality,
+                minimize_cost=template.minimize_cost)
+        return merged
+
+    @classmethod
+    def _copy_of(cls, result: "ExperimentResult") -> "ExperimentResult":
+        copy = cls(experiment=result.experiment,
+                   description=result.description,
+                   columns=list(result.columns),
+                   metadata=dict(result.metadata))
+        copy.rows = [dict(row) for row in result.rows]
+        copy.fronts = {key: ParetoFront.from_dict(front.to_dict())
+                       for key, front in result.fronts.items()}
+        return copy
 
     # ------------------------------------------------------------------ #
     # Rendering
@@ -340,6 +453,45 @@ class ResultBundle:
         base.mkdir(parents=True, exist_ok=True)
         return [result.save_json(base / f"{name}.json")
                 for name, result in sorted(self.results.items())]
+
+    @classmethod
+    def load_dir(cls, directory: Union[str, Path]) -> "ResultBundle":
+        """Load every experiment JSON under ``directory`` into one bundle.
+
+        Files that are not experiment documents (a run manifest, a stray
+        artifact) are skipped, so a bundle can be rehydrated straight from
+        a ``run_all`` / ``python -m repro run`` output directory.
+        """
+        bundle = cls()
+        for path in sorted(Path(directory).glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(data, dict) or "experiment" not in data \
+                    or "columns" not in data:
+                continue
+            bundle.add(ExperimentResult.from_dict(data))
+        return bundle
+
+    @classmethod
+    def merge(cls, bundles: Iterable["ResultBundle"]) -> "ResultBundle":
+        """Fold shard bundles into one, experiment by experiment.
+
+        Results sharing an experiment name across the bundles are merged
+        through :meth:`ExperimentResult.merge_shards` (which validates the
+        disjoint-cover property and recomputes the Pareto fronts);
+        experiments present in a single bundle pass through unchanged.
+        Experiment order follows first appearance.
+        """
+        groups: Dict[str, List[ExperimentResult]] = {}
+        for bundle in bundles:
+            for name, result in bundle.results.items():
+                groups.setdefault(name, []).append(result)
+        merged = cls()
+        for name, parts in groups.items():
+            merged.add(ExperimentResult.merge_shards(parts))
+        return merged
 
     def summary(self) -> str:
         """Short multi-line listing of the bundled experiments."""

@@ -165,6 +165,38 @@ class ResultStore:
         """Whether a *valid* record exists for ``(kind, key)``."""
         return self.load(kind, key) is not None
 
+    def absorb(self, other: StoreLike) -> int:
+        """Fold another store's records into this one; returns the count.
+
+        Record files are content-addressed (the filename is the digest of
+        the structural key), so absorbing is a plain file copy: records
+        already present here are left untouched, new ones are copied
+        atomically.  This is the fan-in step of a sharded run — every
+        shard's store folds into one, and a later resumed or unsharded run
+        sees the union of everything any shard computed.  Unreadable
+        source files are skipped (corruption is a miss, never a crash).
+        """
+        source = ResultStore.of(other)
+        if source is None or not source.directory.is_dir():
+            return 0
+        absorbed = 0
+        for record in sorted(source.directory.rglob("*.json")):
+            relative = record.relative_to(source.directory)
+            target = self.directory / relative
+            if target.exists():
+                continue
+            temporary = target.with_suffix(f".{os.getpid()}.tmp")
+            try:
+                text = record.read_text()
+                target.parent.mkdir(parents=True, exist_ok=True)
+                temporary.write_text(text)
+                os.replace(temporary, target)
+            except OSError:
+                temporary.unlink(missing_ok=True)
+                continue
+            absorbed += 1
+        return absorbed
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

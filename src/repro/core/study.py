@@ -22,6 +22,8 @@ results identical to ``run(workers=1)``.
 """
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -86,6 +88,61 @@ def _execute_point(task: Tuple[Workload, OperatorMap, Dict[str, object], int]
     return workload.run(operators, config, rng)
 
 
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count for a sweep's process pool.
+
+    A ``REPRO_WORKERS`` environment variable overrides the requested value
+    verbatim (the operator knows the machine better than the caller); an
+    unparsable override is ignored with a warning.  Requested values are
+    otherwise capped at ``os.cpu_count()`` — oversubscribing a sweep of
+    CPU-bound functional simulations only adds scheduling churn — and
+    floored at one.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring unparsable REPRO_WORKERS={env!r} (not an integer)",
+                RuntimeWarning, stacklevel=2)
+    if workers is None:
+        return 1
+    return max(1, min(int(workers), os.cpu_count() or 1))
+
+
+#: A shard specification: ``None`` (whole sweep), an ``"i/n"`` string, or an
+#: ``(index, count)`` pair.
+ShardLike = Union[str, Tuple[int, int], None]
+
+
+def parse_shard(shard: ShardLike) -> Optional[Tuple[int, int]]:
+    """Normalise an ``"i/n"`` string or ``(i, n)`` pair; ``None`` passes.
+
+    ``i`` is the zero-based shard index, ``n`` the shard count; the pair is
+    validated (``0 <= i < n``) so a typo fails loudly before any sweep runs.
+    """
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        parts = shard.split("/")
+        if len(parts) != 2:
+            raise ValueError(f"shard spec {shard!r} is not of the form 'i/n'")
+        try:
+            index, count = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"shard spec {shard!r} is not of the form 'i/n'") from None
+    else:
+        index, count = int(shard[0]), int(shard[1])
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index {index} is out of range for {count} shards")
+    return index, count
+
+
 class Study:
     """Chainable builder for one workload-versus-operator-sweep experiment.
 
@@ -114,6 +171,7 @@ class Study:
         self._row_builder: Optional[RowBuilder] = None
         self._store: Optional[ResultStore] = None
         self._pareto_axes: Optional[Tuple[str, str, bool, bool]] = None
+        self._shard: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------ #
     # Builder surface
@@ -195,6 +253,31 @@ class Study:
         self._store = ResultStore.of(store)
         return self
 
+    def shard(self, shard: Union[ShardLike, int] = None,
+              count: Optional[int] = None) -> "Study":
+        """Restrict the sweep to one deterministic shard of its points.
+
+        Accepts ``shard(i, n)``, a spec string ``shard("i/n")``, a tuple,
+        or ``None`` (a no-op, so callers can forward an optional shard
+        argument unconditionally).
+
+        The resolved sweep (the ordered, de-duplicated point list) is
+        partitioned round-robin: point ``j`` belongs to shard ``index`` iff
+        ``j % count == index``, so for any ``count`` the shards are a
+        disjoint cover of the point set and the partition is stable across
+        runs, processes and machines.  Row builders still see each point's
+        *global* sweep index, store keys are shard-independent (a shard
+        warms the same records an unsharded run would), and the emitted
+        result records ``metadata["shard"]`` plus the global
+        ``metadata["sweep_indices"]`` of its rows — which is what
+        :meth:`~repro.core.results.ExperimentResult.merge_shards` uses to
+        fold shard results back into one bit-identical whole.
+        """
+        if count is not None:
+            shard = (int(shard), int(count))  # type: ignore[arg-type]
+        self._shard = parse_shard(shard)  # type: ignore[arg-type]
+        return self
+
     def pair_with(self, operator: OperatorLike,
                   inject: bool = False) -> "Study":
         """Fix the energy-pairing partner of every sweep point.
@@ -264,7 +347,12 @@ class Study:
         order, so the result is bit-identical to a serial run.  With a
         configured :meth:`store`, recorded sweep points skip their
         simulation entirely and fresh ones are persisted.
+
+        The requested ``workers`` is resolved through
+        :func:`resolve_workers`: capped at the machine's CPU count and
+        overridable via the ``REPRO_WORKERS`` environment variable.
         """
+        workers = resolve_workers(workers)
         if self._workload is None:
             raise ValueError("no workload selected; call .workload(...) first")
         if self._pair is not None and self._axis == "design":
@@ -299,14 +387,22 @@ class Study:
                       seed: int, workers: int) -> ExperimentResult:
         """Execute the configured sweep (see :meth:`run`)."""
         points = [self._resolve_point(op) for op in self._operators]
-        tasks = []
-        for operator_map, _, _, design in points:
+        if self._shard is not None:
+            shard_index, shard_count = self._shard
+            selected = [index for index in range(len(points))
+                        if index % shard_count == shard_index]
+        else:
+            selected = list(range(len(points)))
+        tasks: List[Tuple[int, Tuple[Workload, OperatorMap,
+                                     Dict[str, object], int]]] = []
+        for index in selected:
+            operator_map, _, _, design = points[index]
             point_config = config
             if design is not None and design.config:
                 point_config = workload.merged_config(
                     {**self._config, **dict(design.config)})
                 point_config["seed"] = seed
-            tasks.append((workload, operator_map, point_config, seed))
+            tasks.append((index, (workload, operator_map, point_config, seed)))
 
         front: Optional[ParetoFront] = None
         if self._pareto_axes is not None:
@@ -316,7 +412,7 @@ class Study:
                                 minimize_cost=minimize_cost)
 
         build_row = self._row_builder or _default_row
-        rows: List[Optional[Dict[str, object]]] = [None] * len(points)
+        rows: Dict[int, Dict[str, object]] = {}
         store_hits = 0
         for index, outcome, fresh in self._outcomes(tasks, workers):
             operator_map, adder, multiplier, design = points[index]
@@ -353,6 +449,13 @@ class Study:
             # self._metadata is already a private copy (made in experiment()),
             # so annotating it never mutates caller state.
             metadata["store_hits"] = store_hits
+        if self._shard is not None:
+            # One key, stripped wholesale by ExperimentResult.merge_shards so
+            # merged metadata matches an unsharded run's exactly.
+            metadata["shard"] = {"index": self._shard[0],
+                                 "count": self._shard[1],
+                                 "sweep_points": len(points),
+                                 "sweep_indices": list(selected)}
         experiment = ExperimentResult(
             experiment=self._experiment or f"{workload.name}_{self._axis}_sweep",
             description=self._description or (
@@ -361,8 +464,8 @@ class Study:
             columns=list(self._columns) if self._columns is not None else [],
             metadata=metadata,
         )
-        for row in rows:
-            assert row is not None  # every index is yielded exactly once
+        for index in selected:
+            row = rows[index]  # every selected index is yielded exactly once
             if not experiment.columns:
                 experiment.columns = list(row)
             experiment.add_row(**row)
@@ -446,19 +549,21 @@ class Study:
     # ------------------------------------------------------------------ #
     # Execution internals
     # ------------------------------------------------------------------ #
-    def _outcomes(self, tasks: List[Tuple[Workload, OperatorMap,
-                                          Dict[str, object], int]],
+    def _outcomes(self, tasks: List[Tuple[int, Tuple[Workload, OperatorMap,
+                                                     Dict[str, object], int]]],
                   workers: int):
         """Yield ``(index, WorkloadResult, fresh)`` in completion order.
 
-        Store-recorded points short-circuit first (``fresh=False``); the
-        remainder runs serially or streams out of a process pool as each
-        future completes.  Fresh results are written back to the store.
+        ``tasks`` pairs each sweep point with its global sweep index (the
+        two differ in a sharded run).  Store-recorded points short-circuit
+        first (``fresh=False``); the remainder runs serially or streams out
+        of a process pool as each future completes.  Fresh results are
+        written back to the store.
         """
         pending: List[Tuple[int, Tuple[Workload, OperatorMap,
                                        Dict[str, object], int]]] = []
         keys: Dict[int, Dict[str, object]] = {}
-        for index, task in enumerate(tasks):
+        for index, task in tasks:
             key = self._sweep_key(task) if self._store is not None else None
             if key is not None:
                 cached = _record_to_result(self._store.load("sweep", key))
@@ -517,6 +622,9 @@ class Study:
                 as_completed,
             )
         except ImportError:
+            warnings.warn(
+                "concurrent.futures is unavailable; running the sweep "
+                "serially instead of with a process pool", RuntimeWarning)
             for index, task in pending:
                 yield index, _execute_point(task)
             return
@@ -532,8 +640,11 @@ class Study:
                     done.add(index)
                     yield index, result
             return
-        except (OSError, BrokenExecutor):
-            pass
+        except (OSError, BrokenExecutor) as error:
+            warnings.warn(
+                f"process pool unavailable ({error.__class__.__name__}: "
+                f"{error}); falling back to serial execution — results are "
+                f"identical, only slower", RuntimeWarning)
         for index, task in pending:
             if index not in done:
                 yield index, _execute_point(task)

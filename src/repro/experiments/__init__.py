@@ -39,7 +39,16 @@ from .kmeans_study import (
     kmeans_multiplier_table,
 )
 from .multipliers_study import multiplier_comparison
-from .runner import run_all
+from .runner import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    RunAllResult,
+    RunConfig,
+    experiment_names,
+    merge_run,
+    run_all,
+    select_experiments,
+)
 
 __all__ = [
     "adder_error_cost_study",
@@ -70,4 +79,11 @@ __all__ = [
     "multiplier_compensation_ablation",
     "rounding_mode_ablation",
     "run_all",
+    "merge_run",
+    "RunAllResult",
+    "RunConfig",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "experiment_names",
+    "select_experiments",
 ]

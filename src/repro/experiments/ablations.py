@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 from ..core.designspace import operator_axis
 from ..core.results import ExperimentResult
 from ..core.store import StoreLike
-from ..core.study import Study, SweepOutcome
+from ..core.study import ShardLike, Study, SweepOutcome
 from ..operators.adders import (
     RoundToNearestEvenAdder,
     RoundedAdder,
@@ -31,7 +31,8 @@ def multiplier_compensation_ablation(input_width: int = 16,
                                      error_samples: int = 50_000,
                                      hardware_samples: int = 600,
                                      workers: int = 1,
-                                     store: StoreLike = None) -> ExperimentResult:
+                                     store: StoreLike = None,
+                                     shard: ShardLike = None) -> ExperimentResult:
     """AAM / ABM with and without their compensation and exact conversion."""
     variants = [
         ("AAM compensated", AAMMultiplier(input_width, compensation=True)),
@@ -66,6 +67,7 @@ def multiplier_compensation_ablation(input_width: int = 16,
                          "pdp_pj"],
                 metadata={"input_width": input_width})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))
 
 
@@ -74,7 +76,8 @@ def rounding_mode_ablation(input_width: int = 16,
                            error_samples: int = 50_000,
                            hardware_samples: int = 600,
                            workers: int = 1,
-                           store: StoreLike = None) -> ExperimentResult:
+                           store: StoreLike = None,
+                           shard: ShardLike = None) -> ExperimentResult:
     """Truncation vs rounding vs round-to-nearest-even for data sizing."""
     if output_widths is None:
         output_widths = (14, 12, 10, 8, 6)
@@ -107,4 +110,5 @@ def rounding_mode_ablation(input_width: int = 16,
                          "pdp_pj"],
                 metadata={"input_width": input_width})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))

@@ -26,7 +26,7 @@ from ..core.exploration import (
 )
 from ..core.results import ExperimentResult
 from ..core.store import StoreLike
-from ..core.study import Study, SweepOutcome
+from ..core.study import ShardLike, Study, SweepOutcome
 from ..operators.base import Operator
 
 
@@ -78,7 +78,8 @@ def adder_error_cost_study(input_width: int = 16,
                            hardware_samples: int = 800,
                            reduced: bool = False,
                            workers: int = 1,
-                           store: StoreLike = None) -> ExperimentResult:
+                           store: StoreLike = None,
+                           shard: ShardLike = None) -> ExperimentResult:
     """Regenerate the data of Figures 3 (MSE) and 4 (BER) in one table."""
     if operators is None:
         operators = default_figure_sweep(input_width, reduced=reduced)
@@ -109,4 +110,5 @@ def adder_error_cost_study(input_width: int = 16,
                 metadata={"input_width": input_width,
                           "error_samples": error_samples})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))

@@ -23,7 +23,7 @@ from ..core.datapath import DatapathEnergyModel
 from ..core.designspace import DesignSpace, adder_axis, joint_adder_space, multiplier_axis
 from ..core.results import ExperimentResult
 from ..core.store import StoreLike
-from ..core.study import Study, SweepOutcome
+from ..core.study import ShardLike, Study, SweepOutcome
 from ..operators.adders import ExactAdder
 from ..operators.base import AdderOperator, MultiplierOperator
 from ..operators.multipliers import AAMMultiplier, ABMMultiplier, TruncatedMultiplier
@@ -47,7 +47,8 @@ def fft_adder_sweep(size: int = 32, input_width: int = 16,
                     energy_model: Optional[DatapathEnergyModel] = None,
                     workers: int = 1,
                     backend: BackendLike = "direct",
-                    store: StoreLike = None) -> ExperimentResult:
+                    store: StoreLike = None,
+                    shard: ShardLike = None) -> ExperimentResult:
     """Regenerate Figure 5 (PDP of FFT-32 versus output PSNR, adders swept)."""
     if adders is None:
         space = fft_design_space(input_width, reduced=reduced)
@@ -79,6 +80,7 @@ def fft_adder_sweep(size: int = 32, input_width: int = 16,
                          "multiplier_energy_pj", "total_energy_pj"],
                 metadata={"fft_size": size, "frames": frames})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))
 
 
@@ -87,7 +89,8 @@ def fft_joint_frontier(size: int = 32, input_width: int = 16,
                        energy_model: Optional[DatapathEnergyModel] = None,
                        workers: int = 1,
                        backend: BackendLike = "direct",
-                       store: StoreLike = None) -> ExperimentResult:
+                       store: StoreLike = None,
+                       shard: ShardLike = None) -> ExperimentResult:
     """The paper's headline comparison on the FFT: a joint Pareto frontier.
 
     Sweeps the unified design space — functionally approximate adders and
@@ -133,6 +136,7 @@ def fft_joint_frontier(size: int = 32, input_width: int = 16,
                 metadata={"fft_size": size, "frames": frames,
                           "design_points": len(space)})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))
 
 
@@ -142,7 +146,8 @@ def fft_multiplier_comparison(size: int = 32, input_width: int = 16,
                               energy_model: Optional[DatapathEnergyModel] = None,
                               workers: int = 1,
                               backend: BackendLike = "direct",
-                              store: StoreLike = None) -> ExperimentResult:
+                              store: StoreLike = None,
+                              shard: ShardLike = None) -> ExperimentResult:
     """Regenerate Table II (FFT-32 accuracy/energy with fixed-width multipliers)."""
     if multipliers is None:
         multipliers = [TruncatedMultiplier(input_width, input_width),
@@ -173,4 +178,5 @@ def fft_multiplier_comparison(size: int = 32, input_width: int = 16,
                          "total_energy_pj"],
                 metadata={"fft_size": size, "frames": frames})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))

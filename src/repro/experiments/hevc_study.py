@@ -24,7 +24,7 @@ from ..core.datapath import DatapathEnergyModel
 from ..core.designspace import DesignSpace, adder_axis, multiplier_point
 from ..core.results import ExperimentResult
 from ..core.store import StoreLike
-from ..core.study import Study, SweepOutcome
+from ..core.study import ShardLike, Study, SweepOutcome
 from ..operators.adders import (
     ACAAdder,
     ETAIVAdder,
@@ -75,7 +75,8 @@ def hevc_adder_table(image: Optional[np.ndarray] = None, image_size: int = 128,
                      energy_model: Optional[DatapathEnergyModel] = None,
                      workers: int = 1,
                      backend: BackendLike = "direct",
-                     store: StoreLike = None) -> ExperimentResult:
+                     store: StoreLike = None,
+                     shard: ShardLike = None) -> ExperimentResult:
     """Regenerate Table III (MC filter with approximate / data-sized adders)."""
     if image is None:
         image = synthetic_image(image_size)
@@ -106,6 +107,7 @@ def hevc_adder_table(image: Optional[np.ndarray] = None, image_size: int = 128,
                          "mult_energy_pj", "total_energy_pj"],
                 metadata={"image_pixels": int(image.size)})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))
 
 
@@ -114,7 +116,8 @@ def hevc_multiplier_table(image: Optional[np.ndarray] = None, image_size: int = 
                           energy_model: Optional[DatapathEnergyModel] = None,
                           workers: int = 1,
                           backend: BackendLike = "direct",
-                          store: StoreLike = None) -> ExperimentResult:
+                          store: StoreLike = None,
+                          shard: ShardLike = None) -> ExperimentResult:
     """Regenerate Table IV (MC filter with fixed-width multipliers swapped)."""
     if image is None:
         image = synthetic_image(image_size)
@@ -144,4 +147,5 @@ def hevc_multiplier_table(image: Optional[np.ndarray] = None, image_size: int = 
                          "adder_energy_pj", "total_energy_pj"],
                 metadata={"image_pixels": int(image.size)})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))

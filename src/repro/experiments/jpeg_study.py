@@ -28,7 +28,7 @@ from ..core.exploration import (
 )
 from ..core.results import ExperimentResult
 from ..core.store import StoreLike
-from ..core.study import Study, SweepOutcome
+from ..core.study import ShardLike, Study, SweepOutcome
 from ..operators.base import AdderOperator
 
 
@@ -61,7 +61,8 @@ def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
                      energy_model: Optional[DatapathEnergyModel] = None,
                      workers: int = 1,
                      backend: BackendLike = "direct",
-                     store: StoreLike = None) -> ExperimentResult:
+                     store: StoreLike = None,
+                     shard: ShardLike = None) -> ExperimentResult:
     """Regenerate Figure 6 (DCT energy versus JPEG MSSIM, adders swept)."""
     if image is None:
         image = synthetic_image(image_size)
@@ -96,6 +97,7 @@ def jpeg_adder_sweep(image: Optional[np.ndarray] = None, quality: int = 90,
                          "energy_per_mac_pj"],
                 metadata={"quality": quality, "image_pixels": int(image.size)})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))
 
 
@@ -105,7 +107,8 @@ def jpeg_joint_frontier(image: Optional[np.ndarray] = None, quality: int = 90,
                         energy_model: Optional[DatapathEnergyModel] = None,
                         workers: int = 1,
                         backend: BackendLike = "direct",
-                        store: StoreLike = None) -> ExperimentResult:
+                        store: StoreLike = None,
+                        shard: ShardLike = None) -> ExperimentResult:
     """The paper's headline comparison on JPEG: a joint Pareto frontier.
 
     Mirrors :func:`repro.experiments.fft_study.fft_joint_frontier` on the
@@ -152,4 +155,5 @@ def jpeg_joint_frontier(image: Optional[np.ndarray] = None, quality: int = 90,
                 metadata={"quality": quality, "image_pixels": int(image.size),
                           "design_points": len(space)})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))

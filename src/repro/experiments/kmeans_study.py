@@ -20,7 +20,7 @@ from ..core.datapath import DatapathEnergyModel
 from ..core.designspace import DesignSpace, adder_axis, multiplier_point
 from ..core.results import ExperimentResult
 from ..core.store import StoreLike
-from ..core.study import Study, SweepOutcome
+from ..core.study import ShardLike, Study, SweepOutcome
 from ..operators.adders import (
     ACAAdder,
     ETAIVAdder,
@@ -85,7 +85,8 @@ def kmeans_adder_table(clouds: Optional[Sequence[PointCloud]] = None,
                        energy_model: Optional[DatapathEnergyModel] = None,
                        workers: int = 1,
                        backend: BackendLike = "direct",
-                       store: StoreLike = None) -> ExperimentResult:
+                       store: StoreLike = None,
+                       shard: ShardLike = None) -> ExperimentResult:
     """Regenerate Table V (distance computation with the adders swapped)."""
     if clouds is None:
         clouds = default_point_clouds(runs, points_per_run)
@@ -116,6 +117,7 @@ def kmeans_adder_table(clouds: Optional[Sequence[PointCloud]] = None,
                 metadata={"runs": len(clouds),
                           "points_per_run": int(clouds[0].points.shape[0])})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))
 
 
@@ -126,7 +128,8 @@ def kmeans_multiplier_table(clouds: Optional[Sequence[PointCloud]] = None,
                             energy_model: Optional[DatapathEnergyModel] = None,
                             workers: int = 1,
                             backend: BackendLike = "direct",
-                            store: StoreLike = None) -> ExperimentResult:
+                            store: StoreLike = None,
+                            shard: ShardLike = None) -> ExperimentResult:
     """Regenerate Table VI (distance computation with the multipliers swapped)."""
     if clouds is None:
         clouds = default_point_clouds(runs, points_per_run)
@@ -157,4 +160,5 @@ def kmeans_multiplier_table(clouds: Optional[Sequence[PointCloud]] = None,
                 metadata={"runs": len(clouds),
                           "points_per_run": int(clouds[0].points.shape[0])})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))

@@ -16,7 +16,7 @@ from ..core.designspace import operator_axis
 from ..core.exploration import default_multiplier_set
 from ..core.results import ExperimentResult
 from ..core.store import StoreLike
-from ..core.study import Study, SweepOutcome
+from ..core.study import ShardLike, Study, SweepOutcome
 from ..operators.base import Operator
 
 
@@ -25,7 +25,8 @@ def multiplier_comparison(input_width: int = 16,
                           error_samples: int = 50_000,
                           hardware_samples: int = 800,
                           workers: int = 1,
-                          store: StoreLike = None) -> ExperimentResult:
+                          store: StoreLike = None,
+                          shard: ShardLike = None) -> ExperimentResult:
     """Regenerate Table I."""
     if operators is None:
         operators = default_multiplier_set(input_width)
@@ -55,4 +56,5 @@ def multiplier_comparison(input_width: int = 16,
                 metadata={"input_width": input_width,
                           "error_samples": error_samples})
             .rows(row)
+            .shard(shard)
             .run(workers=workers))

@@ -9,7 +9,6 @@ to the numbers the paper reports for its reference operators.
 """
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

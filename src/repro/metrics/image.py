@@ -10,7 +10,6 @@ of the local SSIM map.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

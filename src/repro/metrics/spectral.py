@@ -9,7 +9,6 @@ correlated with the data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

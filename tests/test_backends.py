@@ -22,7 +22,7 @@ from repro.core import (
     table_cache_size,
 )
 from repro.core.datapath import OperationCounts
-from repro.operators.adders import ExactAdder, TruncatedAdder
+from repro.operators.adders import TruncatedAdder
 from repro.operators.base import MAX_EXHAUSTIVE_WIDTH
 from repro.operators.multipliers import TruncatedMultiplier
 

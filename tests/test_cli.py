@@ -1,0 +1,210 @@
+"""The ``python -m repro`` CLI: subcommands, JSON contracts, README sync.
+
+The CLI is the interface CI automation scripts consume, so the tests pin
+its observable contract: exit codes, the JSON document on stdout, the
+artifact layout under ``--out``, the golden bit-identity gate — and that
+the README's "Command-line interface" section stays in sync with the real
+parsers (every documented flag exists; every flag exists in the docs).
+"""
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+#: A cheap experiment pair: one plain table, one with a Pareto front.
+EXPERIMENTS = ["table3_hevc_adders", "fft_joint_frontier"]
+
+
+def run_cli(capsys, *argv):
+    """Invoke the CLI in-process; returns (status, parsed stdout, stderr)."""
+    status = main(list(argv))
+    captured = capsys.readouterr()
+    document = json.loads(captured.out) if captured.out.strip() else None
+    return status, document, captured.err
+
+
+# --------------------------------------------------------------------------- #
+# list
+# --------------------------------------------------------------------------- #
+def test_list_reports_the_registry(capsys):
+    status, document, _ = run_cli(capsys, "list")
+    assert status == 0
+    names = [entry["name"] for entry in document["experiments"]]
+    assert "fft_joint_frontier" in names
+    assert "ablation_rounding_mode" in names
+    assert all(entry["title"] for entry in document["experiments"])
+
+    status, document, _ = run_cli(capsys, "list", "--no-ablations")
+    assert status == 0
+    assert all(not entry["ablation"] for entry in document["experiments"])
+
+
+def test_no_command_prints_help_and_fails(capsys):
+    assert main([]) == 2
+
+
+def test_unknown_experiment_fails_cleanly(capsys):
+    status, _, err = run_cli(capsys, "run", "no_such_experiment")
+    assert status == 2
+    assert "unknown experiments" in err
+
+
+# --------------------------------------------------------------------------- #
+# run / merge / golden gate
+# --------------------------------------------------------------------------- #
+def test_run_writes_artifacts_and_manifest(capsys, tmp_path):
+    out = tmp_path / "out"
+    status, document, _ = run_cli(
+        capsys, "run", *EXPERIMENTS, "--out", str(out),
+        "--store", str(tmp_path / "store"))
+    assert status == 0
+    assert document["command"] == "run"
+    assert set(document["experiments"]) == set(EXPERIMENTS)
+    for name in EXPERIMENTS:
+        assert (out / f"{name}.json").is_file()
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["shard"] is None
+    assert manifest["experiments"][EXPERIMENTS[0]]["rows"] > 0
+
+    # Re-running against the same store is a pure resume: zero recomputed
+    # points, identical artifacts.
+    before = {name: (out / f"{name}.json").read_text()
+              for name in EXPERIMENTS}
+    status, _, _ = run_cli(
+        capsys, "run", *EXPERIMENTS, "--out", str(out),
+        "--store", str(tmp_path / "store"))
+    assert status == 0
+    for name in EXPERIMENTS:
+        document = json.loads((out / f"{name}.json").read_text())
+        assert document["metadata"]["store_hits"] == len(document["rows"])
+        fresh = json.loads(before[name])
+        assert document["rows"] == fresh["rows"]
+
+
+def test_shard_merge_golden_gate_end_to_end(capsys, tmp_path):
+    golden = tmp_path / "golden"
+    status, _, _ = run_cli(capsys, "run", *EXPERIMENTS, "--out", str(golden))
+    assert status == 0
+
+    shard_dirs = []
+    for index in range(2):
+        out = tmp_path / f"shard{index}"
+        shard_dirs.append(str(out))
+        status, document, _ = run_cli(
+            capsys, "run", *EXPERIMENTS, "--shard", f"{index}/2",
+            "--out", str(out), "--store", str(out / ".repro_store"))
+        assert status == 0
+        assert document["shard"] == [index, 2]
+
+    merged = tmp_path / "merged"
+    status, document, _ = run_cli(
+        capsys, "merge", *shard_dirs, "--out", str(merged),
+        "--store", str(merged / ".repro_store"), "--golden", str(golden))
+    assert status == 0
+    assert document["identical_to_golden"] is True
+    assert (merged / "manifest.json").is_file()
+    # The folded store resumes a later unsharded run completely.
+    status, document, _ = run_cli(
+        capsys, "run", *EXPERIMENTS, "--store", str(merged / ".repro_store"))
+    assert status == 0
+
+    # Tampering with the golden rows must trip the gate with exit 1.
+    target = golden / f"{EXPERIMENTS[0]}.json"
+    tampered = json.loads(target.read_text())
+    tampered["rows"][0][tampered["columns"][0]] = "tampered"
+    target.write_text(json.dumps(tampered))
+    status, document, _ = run_cli(
+        capsys, "merge", *shard_dirs, "--golden", str(golden))
+    assert status == 1
+    assert document["identical_to_golden"] is False
+    assert any(entry["experiment"] == EXPERIMENTS[0]
+               for entry in document["mismatches"])
+
+
+def test_merge_of_incomplete_shards_fails(capsys, tmp_path):
+    out = tmp_path / "shard0"
+    status, _, _ = run_cli(capsys, "run", EXPERIMENTS[0], "--shard", "0/2",
+                        "--out", str(out))
+    assert status == 0
+    status, _, err = run_cli(capsys, "merge", str(out))
+    assert status == 2
+    assert "do not cover" in err
+
+
+def test_merge_of_nothing_fails(capsys, tmp_path):
+    status, _, _ = run_cli(capsys, "merge", str(tmp_path / "empty"))
+    assert status == 2
+
+
+# --------------------------------------------------------------------------- #
+# bench
+# --------------------------------------------------------------------------- #
+def test_bench_times_backends_and_checks_identity(capsys, tmp_path):
+    output = tmp_path / "bench.json"
+    status, document, _ = run_cli(
+        capsys, "bench", "--experiment", "table3_hevc_adders",
+        "--backends", "direct", "lut", "--output", str(output))
+    assert status == 0
+    assert document["identical_records"] is True
+    assert set(document["backends"]) == {"direct", "lut"}
+    for record in document["backends"].values():
+        assert record["seconds"] >= 0
+        assert record["rows"] > 0
+    assert json.loads(output.read_text()) == document
+
+
+# --------------------------------------------------------------------------- #
+# README --help sync
+# --------------------------------------------------------------------------- #
+def readme_cli_section() -> str:
+    text = README.read_text()
+    match = re.search(r"## Command-line interface\n(.*?)\n## ", text,
+                      flags=re.DOTALL)
+    assert match, "README lost its 'Command-line interface' section"
+    return match.group(1)
+
+
+def parser_options():
+    """Long options per subcommand, straight from the argparse tree."""
+    parser = build_parser()
+    subparsers = next(action for action in parser._actions
+                      if hasattr(action, "choices") and action.choices)
+    options = {}
+    for name, sub in subparsers.choices.items():
+        options[name] = {option for action in sub._actions
+                         for option in action.option_strings
+                         if option.startswith("--") and option != "--help"}
+    return options
+
+
+def test_readme_documents_every_subcommand_and_flag():
+    section = readme_cli_section()
+    options = parser_options()
+    for subcommand in options:
+        assert re.search(rf"python -m repro {subcommand}\b", section), \
+            f"README does not show `python -m repro {subcommand}`"
+    for subcommand, flags in options.items():
+        for flag in flags:
+            assert flag in section, \
+                f"README does not document {subcommand} {flag}"
+
+
+def test_readme_flags_all_exist_in_the_parsers():
+    section = readme_cli_section()
+    documented = set(re.findall(r"(--[a-z][a-z-]*)", section)) - {"--help"}
+    real = {flag for flags in parser_options().values() for flag in flags}
+    ghost = documented - real
+    assert not ghost, f"README documents options that do not exist: {ghost}"
+
+
+def test_help_text_lists_subcommands(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    for subcommand in ("run", "merge", "list", "bench"):
+        assert subcommand in out

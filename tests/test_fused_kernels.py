@@ -12,7 +12,7 @@ from repro.core import ApproxContext, clear_table_cache
 from repro.apps.dct import FixedPointDCT
 from repro.apps.fft import FixedPointFFT, random_q15_signal
 from repro.apps.hevc_mc import MotionCompensationFilter
-from repro.apps.kmeans import FixedPointKMeans, generate_point_cloud
+from repro.apps.kmeans import FixedPointKMeans
 
 #: Operator pairings covering the interesting backend paths: the exact
 #: baseline, a sum-addressable data-sized adder, and functionally
