@@ -53,7 +53,7 @@ from .core import (
 )
 from .workloads import Workload, WorkloadResult, parse_workload, register_workload
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ApproxContext",

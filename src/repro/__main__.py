@@ -1,4 +1,6 @@
-"""Entry point of ``python -m repro`` (see :mod:`repro.cli`)."""
+"""Entry point of ``python -m repro`` (see :mod:`repro.cli`): run, merge,
+list, bench, plus the long-lived evaluation server (``serve``) and its
+client (``query``)."""
 from .cli import main
 
 if __name__ == "__main__":

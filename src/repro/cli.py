@@ -1,7 +1,8 @@
 """``python -m repro`` — the reproduction's command-line front end.
 
-Four subcommands wrap the experiment registry behind machine-readable JSON
-output (one document on stdout; progress and diagnostics go to stderr):
+Six subcommands wrap the experiment registry behind machine-readable JSON
+output (one document on stdout; progress and diagnostics go to stderr,
+which ``--quiet`` / ``REPRO_QUIET=1`` silences):
 
 * ``run`` — execute the suite (or a named subset), optionally one
   deterministic shard of it (``--shard i/n``), with per-point
@@ -15,6 +16,10 @@ output (one document on stdout; progress and diagnostics go to stderr):
 * ``list`` — the experiment registry, names and titles.
 * ``bench`` — wall-clock comparison of the execution backends on a named
   experiment, the CLI face of ``benchmarks/perf_bench.py``'s quick mode.
+* ``serve`` — the long-lived evaluation server (:mod:`repro.server`):
+  warm caches, request batching, JSON-over-HTTP.
+* ``query`` — one protocol request against a running server, envelope on
+  stdout (exit 0 only for an ``ok`` envelope).
 
 The fan-out/fan-in CI workflow is literally ``run --shard i/n`` in an
 ``n``-way job matrix followed by one ``merge --golden`` job.
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -43,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
     from . import __version__
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress messages on stderr (the "
+                             "JSON document on stdout is unaffected; "
+                             "REPRO_QUIET=1 does the same)")
     commands = parser.add_subparsers(dest="command", metavar="COMMAND")
 
     run = commands.add_parser(
@@ -118,6 +128,60 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(reduced=True)
     bench.add_argument("--output", metavar="PATH", default=None,
                        help="also write the JSON document to PATH")
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived evaluation server",
+        description="Serve evaluate/pareto/experiments/status requests over "
+                    "JSON-over-HTTP, keeping the LUT tables, the hardware "
+                    "characterisation cache and the result store warm "
+                    "between requests and batching concurrent same-workload "
+                    "evaluations into single sweeps.")
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                       help="interface to bind (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8023, metavar="PORT",
+                       help="TCP port to bind; 0 picks a free port "
+                            "(default: %(default)s)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="maximum concurrent sweep computations "
+                            "(default: %(default)s)")
+    serve.add_argument("--backend", default="lut", metavar="SPEC",
+                       help="default execution backend for requests that "
+                            "do not name one (default: %(default)s)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="persistent result store shared by all "
+                            "requests; warm hits are served from it")
+    serve.add_argument("--batch-window", type=float, default=0.02,
+                       metavar="SECONDS",
+                       help="how long a cold evaluate waits to coalesce "
+                            "with concurrent requests; 0 disables batching "
+                            "(default: %(default)s)")
+    serve.add_argument("--table-cache-limit", type=int, default=None,
+                       metavar="N",
+                       help="LRU cap on the process-wide LUT table cache "
+                            "(default: REPRO_TABLE_CACHE_LIMIT or 128)")
+
+    query = commands.add_parser(
+        "query", help="send one request to a running evaluation server",
+        description="POST one {action, params} request and print the "
+                    "response envelope; exits 0 only for an 'ok' envelope, "
+                    "1 for an error envelope, 2 if no server answered.")
+    query.add_argument("action", metavar="ACTION",
+                       help="protocol action (evaluate, pareto, "
+                            "experiments, status)")
+    query.add_argument("--url", default="http://127.0.0.1:8023",
+                       metavar="URL",
+                       help="server base URL (default: %(default)s)")
+    query.add_argument("--params", metavar="JSON", default=None,
+                       help="request parameters as one JSON object")
+    query.add_argument("--param", metavar="KEY=VALUE", action="append",
+                       default=[], dest="param_items",
+                       help="set one parameter (VALUE parsed as JSON when "
+                            "possible, kept as a string otherwise; "
+                            "repeatable, applied after --params)")
+    query.add_argument("--timeout", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="give up waiting for the response after this "
+                            "long (default: %(default)s)")
     return parser
 
 
@@ -132,8 +196,18 @@ def _emit(document: Dict[str, object],
         Path(output).write_text(text + "\n")
 
 
+#: Set by ``--quiet``; ``REPRO_QUIET`` (any non-empty value but ``0``)
+#: covers invocations the flag cannot reach, e.g. inside test harnesses.
+_QUIET = False
+
+
+def _quiet() -> bool:
+    return _QUIET or os.environ.get("REPRO_QUIET", "0") not in ("", "0")
+
+
 def _log(message: str) -> None:
-    print(message, file=sys.stderr)
+    if not _quiet():
+        print(message, file=sys.stderr)
 
 
 # --------------------------------------------------------------------------- #
@@ -282,14 +356,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import EvalServer
+    from .server.dispatch import _status
+
+    server = EvalServer(host=args.host, port=args.port, store=args.store,
+                        backend=args.backend, workers=args.workers,
+                        batch_window_s=args.batch_window,
+                        table_cache_limit=args.table_cache_limit)
+    _log(f"serving on {server.url} (workers={args.workers}, "
+         f"backend={args.backend!r}, store={args.store!r}); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _log("interrupted; shutting down")
+    finally:
+        final = _status(server.state, {})
+        server.stop()
+    _emit({"command": "serve", "url": server.url, **final})
+    return 0
+
+
+def _parse_query_params(args: argparse.Namespace) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    if args.params is not None:
+        document = json.loads(args.params)
+        if not isinstance(document, dict):
+            raise ValueError("--params must be a JSON object")
+        params.update(document)
+    for item in args.param_items:
+        key, separator, raw = item.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--param needs KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw  # bare strings stay strings: --param adder=ADD(16)
+    return params
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .server import ServerUnavailable, query
+
+    try:
+        envelope = query(args.url, args.action,
+                         params=_parse_query_params(args),
+                         timeout=args.timeout)
+    except ServerUnavailable as error:
+        _log(f"error: {error}")
+        return 2
+    _emit(envelope)
+    if envelope.get("status") != "ok":
+        _log(f"error [{envelope.get('code')}]: {envelope.get('message')}")
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    global _QUIET
     parser = build_parser()
     args = parser.parse_args(argv)
+    _QUIET = bool(getattr(args, "quiet", False))
     if args.command is None:
         parser.print_help(sys.stderr)
         return 2
     handlers = {"run": _cmd_run, "merge": _cmd_merge,
-                "list": _cmd_list, "bench": _cmd_bench}
+                "list": _cmd_list, "bench": _cmd_bench,
+                "serve": _cmd_serve, "query": _cmd_query}
     try:
         return handlers[args.command](args)
     except (ValueError, FileNotFoundError) as error:

@@ -60,7 +60,10 @@ Backends are registered by short spec strings, mirroring
 """
 from __future__ import annotations
 
+import os
+import threading
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -189,10 +192,32 @@ class DirectBackend(ExecutionBackend):
 # --------------------------------------------------------------------------- #
 #: Process-wide table cache, shared by every LutBackend instance (and thus by
 #: every sweep point of a study): operator names embed their parameters, so a
-#: table is a pure function of its key.  Bounded like the JPEG reference
-#: cache: when the cache grows past the cap it is cleared wholesale.
-_TABLE_CACHE: Dict[Tuple[object, ...], object] = {}
-_MAX_CACHED_TABLES = 128
+#: table is a pure function of its key.  The cache is an LRU — hits refresh
+#: recency, insertions past the cap evict the least-recently-used entries
+#: (value tables first; the handful of sum/pair tables are shared by every
+#: caller of their operator and stay hot) — so a long-lived server process
+#: cannot grow it without bound.  The cap is configurable through
+#: :func:`set_table_cache_limit` or the ``REPRO_TABLE_CACHE_LIMIT``
+#: environment variable.
+#:
+#: Thread-safety audit (the evaluation server executes backends from
+#: concurrent request threads): every structural mutation of the cache —
+#: insertion, eviction, recency update, clearing, the pending-key set and
+#: the value-table index — happens under ``_CACHE_LOCK``.  The lazy
+#: *in-place* fills of an already-cached value table are deliberately left
+#: outside the lock: concurrent fillers write identical values (the
+#: operators are deterministic pure functions), the ``filled`` flag of an
+#: entry is set only after its value, and CPython's GIL makes those two
+#: NumPy stores visible in program order — so the worst case is duplicated
+#: fill work, never a wrong read.  Evicted tables stay valid for threads
+#: already holding a reference.
+_TABLE_CACHE: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
+_CACHE_LOCK = threading.RLock()
+_DEFAULT_TABLE_CACHE_LIMIT = 128
+_MAX_CACHED_TABLES = _DEFAULT_TABLE_CACHE_LIMIT
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+_CACHE_EVICTIONS = 0
 
 #: Lazily-filled value tables are populated in chunks of ``2**shift`` entries
 #: around each missed value (see :meth:`LutBackend._value_lookup`).
@@ -216,9 +241,58 @@ _VALUE_TABLE_INDEX: Dict[Tuple[str, str], int] = {}
 
 def clear_table_cache() -> None:
     """Drop every cached LUT table (mainly for tests and benchmarks)."""
-    _TABLE_CACHE.clear()
-    _PENDING_VALUE_KEYS.clear()
-    _VALUE_TABLE_INDEX.clear()
+    global _CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS
+    with _CACHE_LOCK:
+        _TABLE_CACHE.clear()
+        _PENDING_VALUE_KEYS.clear()
+        _VALUE_TABLE_INDEX.clear()
+        _CACHE_HITS = _CACHE_MISSES = _CACHE_EVICTIONS = 0
+
+
+def table_cache_limit() -> int:
+    """Current LRU cap of the process-wide table cache."""
+    return _MAX_CACHED_TABLES
+
+
+def set_table_cache_limit(limit: Optional[int] = None) -> int:
+    """Cap the process-wide table cache; returns the effective limit.
+
+    ``None`` restores the default (the ``REPRO_TABLE_CACHE_LIMIT``
+    environment variable when set, else the built-in generous default).
+    Shrinking the cap evicts least-recently-used tables immediately, so a
+    long-lived server can bound its memory at startup.
+    """
+    global _MAX_CACHED_TABLES
+    if limit is None:
+        env = os.environ.get("REPRO_TABLE_CACHE_LIMIT")
+        try:
+            limit = int(env) if env else _DEFAULT_TABLE_CACHE_LIMIT
+        except ValueError:
+            limit = _DEFAULT_TABLE_CACHE_LIMIT
+    limit = int(limit)
+    if limit < 1:
+        raise ValueError("table cache limit must be at least 1")
+    with _CACHE_LOCK:
+        _MAX_CACHED_TABLES = limit
+        while len(_TABLE_CACHE) > limit:
+            _evict_one()
+    return limit
+
+
+def cache_stats() -> Dict[str, int]:
+    """Introspection hook: size, cap and hit/miss/eviction counters.
+
+    Counters are process-wide and reset by :func:`clear_table_cache`; the
+    evaluation server's ``status`` action reports this dictionary verbatim.
+    """
+    with _CACHE_LOCK:
+        return {
+            "tables": len(_TABLE_CACHE),
+            "limit": _MAX_CACHED_TABLES,
+            "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES,
+            "evictions": _CACHE_EVICTIONS,
+        }
 
 
 def _index_value_key(key: Tuple[object, ...], delta: int) -> None:
@@ -240,17 +314,56 @@ def _note_value_key_sighting(key: Tuple[object, ...]) -> bool:
     constants (DCT coefficients, twiddles, filter taps) amortise a table,
     one-shot constants (drifting K-means centroids) never earn one.
     """
-    if key in _PENDING_VALUE_KEYS:
-        return True
-    if len(_PENDING_VALUE_KEYS) >= _MAX_PENDING_KEYS:
-        _PENDING_VALUE_KEYS.clear()
-    _PENDING_VALUE_KEYS.add(key)
-    return False
+    with _CACHE_LOCK:
+        if key in _PENDING_VALUE_KEYS:
+            return True
+        if len(_PENDING_VALUE_KEYS) >= _MAX_PENDING_KEYS:
+            _PENDING_VALUE_KEYS.clear()
+        _PENDING_VALUE_KEYS.add(key)
+        return False
 
 
 def table_cache_size() -> int:
     """Number of tables currently cached process-wide."""
-    return len(_TABLE_CACHE)
+    with _CACHE_LOCK:
+        return len(_TABLE_CACHE)
+
+
+def _cache_get(key: Tuple[object, ...]) -> object:
+    """Counted LRU lookup: a hit refreshes the key's recency."""
+    global _CACHE_HITS, _CACHE_MISSES
+    with _CACHE_LOCK:
+        entry = _TABLE_CACHE.get(key)
+        if entry is None:
+            _CACHE_MISSES += 1
+        else:
+            _CACHE_HITS += 1
+            _TABLE_CACHE.move_to_end(key)
+        return entry
+
+
+def _cache_contains(key: Tuple[object, ...]) -> bool:
+    """Uncounted presence probe (the bank strategy's candidate scan)."""
+    with _CACHE_LOCK:
+        return key in _TABLE_CACHE
+
+
+def _evict_one() -> None:
+    """Drop one entry, preferring the least-recently-used *value* table.
+
+    Must be called with ``_CACHE_LOCK`` held.
+    """
+    global _CACHE_EVICTIONS
+    victim = None
+    for candidate in _TABLE_CACHE:
+        if candidate[0] == "value":
+            victim = candidate
+            break
+    if victim is None:
+        victim = next(iter(_TABLE_CACHE))
+    del _TABLE_CACHE[victim]
+    _index_value_key(victim, -1)
+    _CACHE_EVICTIONS += 1
 
 
 def _scan_out_of_range(values: np.ndarray, lo: int, hi: int) -> bool:
@@ -268,21 +381,17 @@ def _scan_out_of_range(values: np.ndarray, lo: int, hi: int) -> bool:
 
 
 def _cache_insert(key: Tuple[object, ...], value: object) -> object:
-    if len(_TABLE_CACHE) >= _MAX_CACHED_TABLES:
-        # Evict oldest-inserted value tables first; the handful of sum/pair
-        # tables are shared by every caller of their operator and stay hot.
-        for candidate in list(_TABLE_CACHE):
-            if candidate[0] == "value":
-                del _TABLE_CACHE[candidate]
-                _index_value_key(candidate, -1)
-                if len(_TABLE_CACHE) < _MAX_CACHED_TABLES:
-                    break
-        else:
-            evicted = next(iter(_TABLE_CACHE))
-            _TABLE_CACHE.pop(evicted)
-            _index_value_key(evicted, -1)
-    _TABLE_CACHE[key] = value
-    _index_value_key(key, +1)
+    with _CACHE_LOCK:
+        existing = _TABLE_CACHE.get(key)
+        if existing is not None:
+            # A concurrent thread built the same table first; keep (and
+            # share) its entry so both threads gather from one array.
+            _TABLE_CACHE.move_to_end(key)
+            return existing
+        while len(_TABLE_CACHE) >= _MAX_CACHED_TABLES:
+            _evict_one()
+        _TABLE_CACHE[key] = value
+        _index_value_key(key, +1)
     return value
 
 
@@ -376,7 +485,7 @@ class LutBackend(ExecutionBackend):
         operand sum with no bounds checks at all.
         """
         key = ("sum", operator.family, operator.name)
-        table = _TABLE_CACHE.get(key)
+        table = _cache_get(key)
         if table is None:
             period = np.arange(1 << operator.input_width, dtype=np.int64)
             # Valid exactly because sum_addressable: compute(a, b) is a pure
@@ -396,7 +505,7 @@ class LutBackend(ExecutionBackend):
                 if operand.size and _scan_out_of_range(operand, lo, hi):
                     return None
         key = ("pair", operator.family, operator.name)
-        table = _TABLE_CACHE.get(key)
+        table = _cache_get(key)
         if table is None:
             all_a, all_b = operator.exhaustive_inputs()
             table = _cache_insert(
@@ -431,7 +540,7 @@ class LutBackend(ExecutionBackend):
         if not in_range and _scan_out_of_range(values, lo, hi):
             return None
         key = ("value", operator.family, operator.name, side, constant)
-        entry = _TABLE_CACHE.get(key)
+        entry = _cache_get(key)
         if entry is None:
             if values.size < self.min_value_size:
                 return None
@@ -439,7 +548,8 @@ class LutBackend(ExecutionBackend):
                 # First sighting of this constant: stay on the functional
                 # model; only a recurring constant earns a table.
                 return None
-            _PENDING_VALUE_KEYS.discard(key)
+            with _CACHE_LOCK:
+                _PENDING_VALUE_KEYS.discard(key)
             entry = _cache_insert(
                 key, (np.zeros(hi - lo + 1, dtype=np.int64),
                       np.zeros(hi - lo + 1, dtype=bool), [0]))
@@ -543,7 +653,7 @@ class LutBackend(ExecutionBackend):
         serveable = set()
         for index in candidates:
             key = prefix + (int(constants[index]),)
-            if key in _TABLE_CACHE:
+            if _cache_contains(key):
                 serveable.add(int(index))
             elif counts[index] >= self.min_value_size \
                     and _note_value_key_sighting(key):

@@ -9,6 +9,7 @@ design into the framework.
 """
 from __future__ import annotations
 
+import inspect
 import re
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -47,6 +48,35 @@ def register_operator(mnemonic: str, factory: OperatorFactory) -> None:
 def registered_mnemonics() -> List[str]:
     """Sorted list of known operator mnemonics."""
     return sorted(_REGISTRY)
+
+
+def describe_operators() -> Dict[str, Dict[str, str]]:
+    """Machine-readable description of every registered operator.
+
+    ``{mnemonic: {"factory", "role", "summary"}}`` — the role classifies
+    the factory as ``"adder"`` / ``"multiplier"`` (``"operator"`` when it
+    is neither or not a class), the summary is the first docstring line.
+    The evaluation server's ``experiments`` action exposes this, so remote
+    clients can discover the operator vocabulary without the source tree.
+    """
+    from ..operators.base import AdderOperator, MultiplierOperator
+
+    described: Dict[str, Dict[str, str]] = {}
+    for mnemonic in registered_mnemonics():
+        factory = _REGISTRY[mnemonic]
+        role = "operator"
+        if isinstance(factory, type):
+            if issubclass(factory, AdderOperator):
+                role = "adder"
+            elif issubclass(factory, MultiplierOperator):
+                role = "multiplier"
+        doc = inspect.getdoc(factory) or ""
+        described[mnemonic] = {
+            "factory": getattr(factory, "__name__", repr(factory)),
+            "role": role,
+            "summary": doc.splitlines()[0].strip() if doc else "",
+        }
+    return described
 
 
 def create_operator(mnemonic: str, *args: object, **kwargs: object) -> Operator:

@@ -28,6 +28,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -92,6 +93,14 @@ class ResultStore:
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
+        # Writes are atomic (os.replace) and corruption reads as a miss, so
+        # cross-process concurrency was always safe; this lock additionally
+        # makes the *in-process* read-modify paths (absorb's check-then-copy,
+        # the counters) coherent when many server threads share one store.
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._saves = 0
 
     @classmethod
     def of(cls, store: StoreLike) -> Optional["ResultStore"]:
@@ -113,6 +122,16 @@ class ResultStore:
         mismatch (hash collision or hand-edited file) all read as a clean
         cache miss.
         """
+        payload = self._load_validated(kind, key)
+        with self._lock:
+            if payload is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return payload
+
+    def _load_validated(self, kind: str, key: object
+                        ) -> Optional[Dict[str, object]]:
         path = self.path_for(kind, key)
         try:
             document = json.loads(path.read_text())
@@ -151,7 +170,7 @@ class ResultStore:
             text = json.dumps(document, default=_jsonify)
         except TypeError:
             return None
-        temporary = path.with_suffix(f".{os.getpid()}.tmp")
+        temporary = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             temporary.write_text(text)
@@ -159,6 +178,8 @@ class ResultStore:
         except OSError:
             temporary.unlink(missing_ok=True)
             return None
+        with self._lock:
+            self._saves += 1
         return path
 
     def contains(self, kind: str, key: object) -> bool:
@@ -180,21 +201,22 @@ class ResultStore:
         if source is None or not source.directory.is_dir():
             return 0
         absorbed = 0
-        for record in sorted(source.directory.rglob("*.json")):
-            relative = record.relative_to(source.directory)
-            target = self.directory / relative
-            if target.exists():
-                continue
-            temporary = target.with_suffix(f".{os.getpid()}.tmp")
-            try:
-                text = record.read_text()
-                target.parent.mkdir(parents=True, exist_ok=True)
-                temporary.write_text(text)
-                os.replace(temporary, target)
-            except OSError:
-                temporary.unlink(missing_ok=True)
-                continue
-            absorbed += 1
+        with self._lock:
+            for record in sorted(source.directory.rglob("*.json")):
+                relative = record.relative_to(source.directory)
+                target = self.directory / relative
+                if target.exists():
+                    continue
+                temporary = target.with_suffix(f".{os.getpid()}.tmp")
+                try:
+                    text = record.read_text()
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    temporary.write_text(text)
+                    os.replace(temporary, target)
+                except OSError:
+                    temporary.unlink(missing_ok=True)
+                    continue
+                absorbed += 1
         return absorbed
 
     # ------------------------------------------------------------------ #
@@ -206,6 +228,34 @@ class ResultStore:
         if not base.is_dir():
             return 0
         return sum(1 for _ in base.rglob("*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        """On-disk footprint plus this instance's in-process counters.
+
+        ``records`` / ``bytes`` walk the directory (validity not checked);
+        ``hits`` / ``misses`` / ``saves`` count this instance's own
+        :meth:`load` and :meth:`save` outcomes — the numbers the evaluation
+        server's ``status`` action reports.  Counters are per instance, not
+        per directory: two stores opened on the same path count separately.
+        """
+        records = 0
+        size = 0
+        if self.directory.is_dir():
+            for record in self.directory.rglob("*.json"):
+                try:
+                    size += record.stat().st_size
+                except OSError:
+                    continue
+                records += 1
+        with self._lock:
+            return {
+                "directory": str(self.directory),
+                "records": records,
+                "bytes": size,
+                "hits": self._hits,
+                "misses": self._misses,
+                "saves": self._saves,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ResultStore {self.directory}>"

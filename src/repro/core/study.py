@@ -361,12 +361,7 @@ class Study:
                 "DesignPoint already carries its own operator pairing — set "
                 "the partner (and inject_pair) on the points instead")
         workload = self._workload
-        config = workload.merged_config(self._config)
-        if self._seed is not None:
-            config["seed"] = self._seed
-        else:
-            config.setdefault("seed", 0)
-        seed = int(config["seed"])
+        config, seed = self._merged_config(workload)
         # Offer this study's store to a store-less energy model for the
         # duration of the run only: a model shared across studies must not
         # keep the first study's store directory (restored in the finally
@@ -383,9 +378,23 @@ class Study:
             if store_offered:
                 self._energy_model.store = None
 
-    def _run_resolved(self, workload: Workload, config: Dict[str, object],
-                      seed: int, workers: int) -> ExperimentResult:
-        """Execute the configured sweep (see :meth:`run`)."""
+    def _merged_config(self, workload: Workload
+                       ) -> Tuple[Dict[str, object], int]:
+        """Fresh merged workload configuration plus the effective seed."""
+        config = workload.merged_config(self._config)
+        if self._seed is not None:
+            config["seed"] = self._seed
+        else:
+            config.setdefault("seed", 0)
+        return config, int(config["seed"])
+
+    def _resolved_tasks(self, workload: Workload, config: Dict[str, object],
+                        seed: int):
+        """Resolve the sweep into ``(points, tasks)``.
+
+        ``points`` covers the whole sweep; ``tasks`` pairs each *selected*
+        (shard-filtered) global index with its executable task tuple.
+        """
         points = [self._resolve_point(op) for op in self._operators]
         if self._shard is not None:
             shard_index, shard_count = self._shard
@@ -403,6 +412,28 @@ class Study:
                     {**self._config, **dict(design.config)})
                 point_config["seed"] = seed
             tasks.append((index, (workload, operator_map, point_config, seed)))
+        return points, selected, tasks
+
+    def point_keys(self) -> List[Dict[str, object]]:
+        """Structural store keys of the resolved sweep points, in sweep order.
+
+        The keys are exactly what :meth:`run` would probe a configured
+        :meth:`store` with, so a caller (the evaluation server, a scheduler)
+        can test ``store.contains("sweep", key)`` to predict which points an
+        upcoming run will serve warm — without executing anything.  A
+        sharded study returns only its shard's keys.
+        """
+        if self._workload is None:
+            raise ValueError("no workload selected; call .workload(...) first")
+        workload = self._workload
+        config, seed = self._merged_config(workload)
+        _, _, tasks = self._resolved_tasks(workload, config, seed)
+        return [self._sweep_key(task) for _, task in tasks]
+
+    def _run_resolved(self, workload: Workload, config: Dict[str, object],
+                      seed: int, workers: int) -> ExperimentResult:
+        """Execute the configured sweep (see :meth:`run`)."""
+        points, selected, tasks = self._resolved_tasks(workload, config, seed)
 
         front: Optional[ParetoFront] = None
         if self._pareto_axes is not None:

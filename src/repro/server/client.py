@@ -1,0 +1,61 @@
+"""Thin protocol client: one function, stdlib only.
+
+:func:`query` POSTs one ``{"action", "params"}`` document and returns the
+decoded envelope — ok or error — exactly as the server sent it.  Error
+envelopes are *returned*, not raised: the protocol deliberately transports
+them with 4xx/5xx status codes, so the client digs the JSON body out of
+:class:`urllib.error.HTTPError` instead of treating it as a failure.  Only
+transport-level problems (connection refused, timeout, a non-JSON body)
+raise, as :class:`ServerUnavailable`.
+
+``python -m repro query`` and ``benchmarks/serve_bench.py`` are both built
+on this function.
+"""
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from ..core.results import _jsonify
+
+
+class ServerUnavailable(RuntimeError):
+    """The server could not be reached or spoke something other than JSON."""
+
+
+def query(url: str, action: str,
+          params: Optional[Dict[str, object]] = None,
+          timeout: float = 30.0) -> Dict[str, object]:
+    """POST one protocol request to ``url`` and return the envelope.
+
+    ``url`` is the server base (``http://host:port``); the protocol
+    endpoint is its root.  Returns the decoded envelope whether the status
+    is ``ok`` or ``error``; raises :class:`ServerUnavailable` only when no
+    envelope came back at all.
+    """
+    body = json.dumps({"action": action, "params": params or {}},
+                      default=_jsonify).encode("utf-8")
+    request = urllib.request.Request(
+        url.rstrip("/") + "/", data=body,
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            payload = response.read()
+    except urllib.error.HTTPError as error:
+        # 4xx/5xx transports an error envelope; the body is the answer.
+        payload = error.read()
+    except (urllib.error.URLError, OSError) as error:
+        raise ServerUnavailable(
+            f"no evaluation server answered at {url}: {error}") from None
+    try:
+        envelope = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ServerUnavailable(
+            f"the server at {url} returned a non-JSON body: {error}") \
+            from None
+    if not isinstance(envelope, dict):
+        raise ServerUnavailable(
+            f"the server at {url} returned a non-object document")
+    return envelope

@@ -467,3 +467,85 @@ class TestStimulusSatellites(object):
         # Small widths still enumerate completely.
         a, b = parse_operator("ADD(8)").exhaustive_inputs()
         assert a.size == b.size == 4 ** 8
+
+
+class TestTableCacheLimit(object):
+    """The LRU cap and introspection counters of the process-wide cache."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self, monkeypatch):
+        from repro.core import set_table_cache_limit
+
+        monkeypatch.delenv("REPRO_TABLE_CACHE_LIMIT", raising=False)
+        clear_table_cache()
+        yield
+        clear_table_cache()
+        set_table_cache_limit(None)  # restore the default cap
+
+    @staticmethod
+    def _open_value_table(backend, constant):
+        """Two calls with a recurring constant earn one value table."""
+        operator = parse_operator("MULt(16,16)")
+        values = np.arange(1, 64, dtype=np.int64)
+        backend.execute(operator, values, constant)
+        backend.execute(operator, values, constant)
+
+    def test_cache_stats_shape_and_reset(self):
+        from repro.core import cache_stats
+
+        stats = cache_stats()
+        assert set(stats) == {"tables", "limit", "hits", "misses",
+                              "evictions"}
+        assert stats["tables"] == 0
+        assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+
+    def test_hits_and_misses_are_counted(self):
+        from repro.core import cache_stats
+
+        backend = LutBackend(min_value_size=1)
+        self._open_value_table(backend, 7)
+        warm_before = cache_stats()
+        backend.execute(parse_operator("MULt(16,16)"),
+                        np.arange(1, 64, dtype=np.int64), 7)
+        warm_after = cache_stats()
+        assert warm_after["hits"] > warm_before["hits"]
+        assert warm_after["misses"] == warm_before["misses"]
+        assert warm_after["tables"] == 1
+
+    def test_limit_is_enforced_with_evictions(self):
+        from repro.core import cache_stats, set_table_cache_limit
+
+        assert set_table_cache_limit(2) == 2
+        backend = LutBackend(min_value_size=1)
+        for constant in (11, 22, 33, 44):
+            self._open_value_table(backend, constant)
+        stats = cache_stats()
+        assert stats["tables"] <= 2
+        assert stats["evictions"] >= 2
+        # Evicted tables are rebuilt transparently and stay bit-exact.
+        operator = parse_operator("MULt(16,16)")
+        values = np.arange(1, 64, dtype=np.int64)
+        direct = DirectBackend().execute(operator, values, 11)
+        assert np.array_equal(direct, backend.execute(operator, values, 11))
+
+    def test_shrinking_the_limit_evicts_immediately(self):
+        from repro.core import set_table_cache_limit
+
+        set_table_cache_limit(8)
+        backend = LutBackend(min_value_size=1)
+        for constant in (1, 2, 3):
+            self._open_value_table(backend, constant)
+        assert table_cache_size() == 3
+        set_table_cache_limit(1)
+        assert table_cache_size() == 1
+
+    def test_limit_validation_and_env_default(self, monkeypatch):
+        from repro.core import set_table_cache_limit, table_cache_limit
+
+        with pytest.raises(ValueError):
+            set_table_cache_limit(0)
+        monkeypatch.setenv("REPRO_TABLE_CACHE_LIMIT", "5")
+        assert set_table_cache_limit(None) == 5
+        assert table_cache_limit() == 5
+        monkeypatch.delenv("REPRO_TABLE_CACHE_LIMIT")
+        assert set_table_cache_limit(None) >= 5  # the built-in default

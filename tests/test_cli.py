@@ -194,10 +194,18 @@ def test_readme_documents_every_subcommand_and_flag():
                 f"README does not document {subcommand} {flag}"
 
 
+def top_level_options():
+    """Long options of the root parser itself (``--version``, ``--quiet``)."""
+    return {option for action in build_parser()._actions
+            for option in action.option_strings
+            if option.startswith("--") and option != "--help"}
+
+
 def test_readme_flags_all_exist_in_the_parsers():
     section = readme_cli_section()
     documented = set(re.findall(r"(--[a-z][a-z-]*)", section)) - {"--help"}
     real = {flag for flags in parser_options().values() for flag in flags}
+    real |= top_level_options()
     ghost = documented - real
     assert not ghost, f"README documents options that do not exist: {ghost}"
 
@@ -206,5 +214,78 @@ def test_help_text_lists_subcommands(capsys):
     with pytest.raises(SystemExit):
         main(["--help"])
     out = capsys.readouterr().out
-    for subcommand in ("run", "merge", "list", "bench"):
+    for subcommand in ("run", "merge", "list", "bench", "serve", "query"):
         assert subcommand in out
+
+
+# --------------------------------------------------------------------------- #
+# --quiet / REPRO_QUIET
+# --------------------------------------------------------------------------- #
+def test_quiet_flag_silences_stderr_but_not_stdout(capsys):
+    status, document, err = run_cli(capsys, "--quiet", "list")
+    assert status == 0
+    assert document["experiments"]
+    assert err == ""
+
+
+def test_repro_quiet_env_silences_stderr(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_QUIET", "1")
+    status, document, err = run_cli(
+        capsys, "run", EXPERIMENTS[0], "--out", str(tmp_path / "out"))
+    assert status == 0
+    assert document["command"] == "run"
+    assert err == ""
+    # REPRO_QUIET=0 keeps the chatter.
+    monkeypatch.setenv("REPRO_QUIET", "0")
+    status, _, err = run_cli(capsys, "run", EXPERIMENTS[0])
+    assert status == 0
+    assert "ran 1 experiments" in err
+
+
+# --------------------------------------------------------------------------- #
+# query (against an in-process server)
+# --------------------------------------------------------------------------- #
+def test_query_round_trip_and_exit_codes(capsys):
+    from repro.server import EvalServer
+
+    with EvalServer(batch_window_s=0.0) as server:
+        status, document, _ = run_cli(
+            capsys, "query", "status", "--url", server.url)
+        assert status == 0
+        assert document["status"] == "ok"
+        assert document["result"]["workers"] >= 1
+
+        # --params JSON merged with repeatable --param KEY=VALUE overrides.
+        status, document, _ = run_cli(
+            capsys, "query", "experiments", "--url", server.url,
+            "--params", '{"ablations": true}', "--param", "ablations=false")
+        assert status == 0
+        assert all(not entry["ablation"]
+                   for entry in document["result"]["experiments"])
+
+        # An error envelope is still printed, with exit 1.
+        status, document, err = run_cli(
+            capsys, "query", "frobnicate", "--url", server.url)
+        assert status == 1
+        assert document["code"] == "unknown_action"
+        assert "unknown_action" in err
+
+    # No server at all: exit 2, no JSON document.
+    status, document, err = run_cli(
+        capsys, "query", "status", "--url", server.url, "--timeout", "2")
+    assert status == 2
+    assert document is None
+    assert "no evaluation server" in err
+
+
+def test_query_rejects_malformed_params(capsys):
+    status, _, err = run_cli(
+        capsys, "query", "status", "--url", "http://127.0.0.1:1",
+        "--params", '["not", "an", "object"]')
+    assert status == 2
+    assert "JSON object" in err
+    status, _, err = run_cli(
+        capsys, "query", "status", "--url", "http://127.0.0.1:1",
+        "--param", "missing-separator")
+    assert status == 2
+    assert "KEY=VALUE" in err

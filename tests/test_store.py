@@ -200,3 +200,75 @@ class TestExperimentResultJson(object):
         result.add_row(x=object())
         with pytest.raises(TypeError):
             result.save_json(tmp_path / "bad.json")
+
+
+class TestStoreStatsAndConcurrency(object):
+    """`stats()` and the in-process lock added for the evaluation server."""
+
+    def test_stats_counts_records_bytes_and_outcomes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        empty = store.stats()
+        assert empty["records"] == 0
+        assert empty["bytes"] == 0
+        assert empty["hits"] == empty["misses"] == empty["saves"] == 0
+        assert empty["directory"] == str(tmp_path / "store")
+
+        store.load("sweep", {"missing": 1})
+        store.save("sweep", {"point": 1}, {"value": 42})
+        store.load("sweep", {"point": 1})
+        stats = store.stats()
+        assert stats["records"] == 1
+        assert stats["bytes"] > 0
+        assert stats["misses"] == 1
+        assert stats["saves"] == 1
+        assert stats["hits"] == 1
+
+    def test_counters_are_per_instance_not_per_directory(self, tmp_path):
+        first = ResultStore(tmp_path / "store")
+        first.save("sweep", {"point": 1}, {"value": 1})
+        second = ResultStore(tmp_path / "store")
+        assert second.stats()["saves"] == 0
+        assert second.stats()["records"] == 1  # the disk footprint is shared
+
+    def test_contains_counts_as_a_load_outcome(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert not store.contains("sweep", {"point": 1})
+        store.save("sweep", {"point": 1}, {"value": 1})
+        assert store.contains("sweep", {"point": 1})
+        stats = store.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_concurrent_same_process_writers_and_readers(self, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path / "store")
+        errors = []
+
+        def worker(index):
+            try:
+                for round_ in range(10):
+                    key = {"point": index, "round": round_}
+                    store.save("sweep", key, {"value": index * 100 + round_})
+                    loaded = store.load("sweep", key)
+                    assert loaded == {"value": index * 100 + round_}
+                    # Hammer one shared key from every thread too.
+                    store.save("sweep", {"shared": True}, {"writer": index})
+                    shared = store.load("sweep", {"shared": True})
+                    assert set(shared) == {"writer"}
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = store.stats()
+        assert stats["records"] == 8 * 10 + 1
+        assert stats["saves"] == 8 * 10 * 2
+        assert stats["hits"] == 8 * 10 * 2
+        # No temporary files survive the concurrent writes.
+        leftovers = [path for path in (tmp_path / "store").rglob("*.tmp")]
+        assert leftovers == []
