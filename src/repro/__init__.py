@@ -19,7 +19,10 @@ The package is organised as the paper's APXPERF framework:
 * :mod:`repro.workloads` — the unified workload plugin API wrapping those
   applications (plus operator characterisation) behind one interface;
 * :mod:`repro.experiments` — one module per paper table/figure, each a thin
-  declarative wrapper over the :class:`Study` pipeline.
+  declarative wrapper over the :class:`Study` pipeline;
+* :mod:`repro.fleet` — lease-based work-queue coordination over a shared
+  directory: crash-safe fleet workers, expiry reclaim, bit-identical harvest;
+* :mod:`repro.report` — the static self-contained HTML results dashboard.
 
 Quick start::
 
@@ -53,7 +56,7 @@ from .core import (
 )
 from .workloads import Workload, WorkloadResult, parse_workload, register_workload
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ApproxContext",

@@ -1,6 +1,7 @@
 """Entry point of ``python -m repro`` (see :mod:`repro.cli`): run, merge,
-list, bench, plus the long-lived evaluation server (``serve``) and its
-client (``query``)."""
+list, bench, the lease-based fleet coordinator (``fleet plan|work|status|
+harvest``), the static results dashboard (``report``), plus the
+long-lived evaluation server (``serve``) and its client (``query``)."""
 from .cli import main
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """``python -m repro`` — the reproduction's command-line front end.
 
-Six subcommands wrap the experiment registry behind machine-readable JSON
+Eight subcommands wrap the experiment registry behind machine-readable JSON
 output (one document on stdout; progress and diagnostics go to stderr,
 which ``--quiet`` / ``REPRO_QUIET=1`` silences):
 
@@ -16,13 +16,23 @@ which ``--quiet`` / ``REPRO_QUIET=1`` silences):
 * ``list`` — the experiment registry, names and titles.
 * ``bench`` — wall-clock comparison of the execution backends on a named
   experiment, the CLI face of ``benchmarks/perf_bench.py``'s quick mode.
+* ``fleet`` — lease-based fleet execution over a shared queue directory
+  (:mod:`repro.fleet`): ``plan`` carves the suite into shard tasks,
+  ``work`` runs a crash-safe claim/heartbeat/commit worker, ``status``
+  watches progress and reclaims expired leases, ``harvest`` folds the
+  partial results back together bit-identically.
+* ``report`` — the static self-contained HTML results dashboard
+  (:mod:`repro.report`) from a merged run directory plus the committed
+  ``BENCH_*.json`` history.
 * ``serve`` — the long-lived evaluation server (:mod:`repro.server`):
   warm caches, request batching, JSON-over-HTTP.
 * ``query`` — one protocol request against a running server, envelope on
   stdout (exit 0 only for an ``ok`` envelope).
 
 The fan-out/fan-in CI workflow is literally ``run --shard i/n`` in an
-``n``-way job matrix followed by one ``merge --golden`` job.
+``n``-way job matrix followed by one ``merge --golden`` job; the fleet
+CI job is the dynamic version — 6 planned shards, 3 workers, one of
+them SIGKILLed mid-lease, same golden gate.
 """
 from __future__ import annotations
 
@@ -160,6 +170,134 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU cap on the process-wide LUT table cache "
                             "(default: REPRO_TABLE_CACHE_LIMIT or 128)")
 
+    fleet = commands.add_parser(
+        "fleet", help="coordinate many machines over a shared work queue",
+        description="Lease-based fleet execution: 'plan' carves the suite "
+                    "into shard tasks inside a shared directory, any number "
+                    "of 'work' processes claim leases / heartbeat / push "
+                    "partial results (crash-safe: dead workers' leases "
+                    "expire and are reclaimed), 'status' watches progress "
+                    "and 'harvest' folds everything back together, "
+                    "bit-identical to a single-process run.")
+    fleet_commands = fleet.add_subparsers(dest="fleet_command",
+                                          metavar="VERB")
+
+    fleet_plan = fleet_commands.add_parser(
+        "plan", help="lay out a new work queue of shard tasks",
+        description="Create the queue directory: one lease-able task per "
+                    "shard of the selected experiments.")
+    fleet_plan.add_argument("queue", metavar="QUEUE_DIR",
+                            help="queue directory (shared between workers; "
+                                 "must not already hold a plan)")
+    fleet_plan.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                            help="experiment names (default: the whole "
+                                 "suite; see 'list')")
+    fleet_plan.add_argument("--shards", type=int, default=4, metavar="N",
+                            help="number of shard tasks to carve the suite "
+                                 "into (default: %(default)s)")
+    fleet_plan.add_argument("--reduced", dest="reduced", action="store_true",
+                            help="laptop-scale sweep densities (the default)")
+    fleet_plan.add_argument("--full", dest="reduced", action="store_false",
+                            help="the paper's full sweep densities")
+    fleet_plan.set_defaults(reduced=True)
+    fleet_plan.add_argument("--backend", default="direct", metavar="SPEC",
+                            help="execution backend every worker uses "
+                                 "(default: %(default)s)")
+    fleet_plan.add_argument("--ttl", type=float, default=60.0,
+                            metavar="SECONDS",
+                            help="lease time-to-live: a lease whose "
+                                 "heartbeat is older than this is "
+                                 "reclaimable (default: %(default)s)")
+    fleet_plan.add_argument("--max-attempts", type=int, default=3,
+                            metavar="N",
+                            help="failed attempts (crashes or errors) before "
+                                 "a task is tombstoned as failed "
+                                 "(default: %(default)s)")
+    fleet_plan.add_argument("--no-ablations", dest="ablations",
+                            action="store_false",
+                            help="skip the extension ablation experiments")
+
+    fleet_work = fleet_commands.add_parser(
+        "work", help="run one fleet worker until the queue drains",
+        description="Claim shard leases, heartbeat while computing, push "
+                    "per-attempt artifacts and a per-worker store back into "
+                    "the queue; backs off with jitter when nothing is "
+                    "claimable and exits with a JSON summary once every "
+                    "task is terminal.")
+    fleet_work.add_argument("queue", metavar="QUEUE_DIR",
+                            help="planned queue directory")
+    fleet_work.add_argument("--owner", default=None, metavar="NAME",
+                            help="worker identity recorded in leases "
+                                 "(default: host-pid-thread)")
+    fleet_work.add_argument("--workers", type=int, default=1, metavar="N",
+                            help="process-pool workers per sweep inside "
+                                 "this fleet worker (default: %(default)s)")
+    fleet_work.add_argument("--max-tasks", type=int, default=None,
+                            metavar="N",
+                            help="stop after completing N tasks "
+                                 "(default: run until drained)")
+    fleet_work.add_argument("--poll-retries", type=int, default=20,
+                            metavar="N",
+                            help="polls of a busy queue before giving up "
+                                 "(default: %(default)s)")
+    fleet_work.add_argument("--poll-delay", type=float, default=0.25,
+                            metavar="SECONDS",
+                            help="base delay of the jittered exponential "
+                                 "poll backoff (default: %(default)s)")
+
+    fleet_status = fleet_commands.add_parser(
+        "status", help="report live queue progress counters",
+        description="One observation pass: reclaim expired leases (unless "
+                    "--no-reclaim), then report pending/leased/done/failed "
+                    "counts, reclaim totals and per-worker heartbeats.")
+    fleet_status.add_argument("queue", metavar="QUEUE_DIR",
+                              help="planned queue directory")
+    fleet_status.add_argument("--no-reclaim", dest="reclaim",
+                              action="store_false",
+                              help="observe only; do not reclaim expired "
+                                   "leases")
+
+    fleet_harvest = fleet_commands.add_parser(
+        "harvest", help="fold a drained queue into one merged result",
+        description="Merge every completed task's artifacts (bit-identical "
+                    "to an unsharded run), absorb the per-worker stores, "
+                    "and optionally gate against a golden run directory; "
+                    "non-zero exit while tasks are outstanding or any task "
+                    "exhausted its retries.")
+    fleet_harvest.add_argument("queue", metavar="QUEUE_DIR",
+                               help="planned queue directory")
+    fleet_harvest.add_argument("--out", metavar="DIR", default=None,
+                               help="write the merged artifacts plus "
+                                    "manifest.json under DIR")
+    fleet_harvest.add_argument("--store", metavar="DIR", default=None,
+                               help="fold every per-worker store into DIR")
+    fleet_harvest.add_argument("--golden", metavar="DIR", default=None,
+                               help="compare the harvested rows and fronts "
+                                    "against a golden (unsharded) run "
+                                    "directory; exit non-zero on divergence")
+
+    report = commands.add_parser(
+        "report", help="render the static HTML results dashboard",
+        description="Generate a self-contained HTML dashboard (inline SVG, "
+                    "no scripts) from a merged run directory plus the "
+                    "committed BENCH_*.json history: per-app "
+                    "quality-versus-energy Pareto fronts and the perf/serve "
+                    "benchmark trajectories.")
+    report.add_argument("bundle", metavar="RUN_DIR",
+                        help="merged run directory (from 'run --out', "
+                             "'merge --out' or 'fleet harvest --out')")
+    report.add_argument("--bench", metavar="PATH", action="append",
+                        default=None, dest="bench_paths",
+                        help="bench history JSON to include (repeatable; "
+                             "default: BENCH_*.json in the working "
+                             "directory)")
+    report.add_argument("--output", metavar="PATH", default="report.html",
+                        help="dashboard file to write "
+                             "(default: %(default)s)")
+    report.add_argument("--title", metavar="TEXT",
+                        default="repro results dashboard",
+                        help="dashboard heading (default: %(default)s)")
+
     query = commands.add_parser(
         "query", help="send one request to a running evaluation server",
         description="POST one {action, params} request and print the "
@@ -182,6 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="give up waiting for the response after this "
                             "long (default: %(default)s)")
+    query.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="transport-failure retries with exponential "
+                            "backoff before giving up; 0 fails on the "
+                            "first connect error (default: %(default)s)")
     return parser
 
 
@@ -238,44 +380,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _compare_to_golden(merged, golden_dir: str) -> List[Dict[str, object]]:
-    """Row/front divergences of the merged bundle against a golden run."""
-    from .core.results import ResultBundle
-
-    golden = ResultBundle.load_dir(golden_dir)
-    mismatches: List[Dict[str, object]] = []
-    for name in sorted(set(golden.results) | set(merged.results)):
-        if name not in golden.results or name not in merged.results:
-            mismatches.append({"experiment": name,
-                               "kind": "missing",
-                               "present_in": "merged" if name in merged.results
-                               else "golden"})
-            continue
-        golden_result = golden.get(name)
-        merged_result = merged.get(name)
-        if merged_result.rows != golden_result.rows:
-            differing = [index for index, (a, b)
-                         in enumerate(zip(merged_result.rows,
-                                          golden_result.rows)) if a != b]
-            mismatches.append({
-                "experiment": name, "kind": "rows",
-                "merged_rows": len(merged_result.rows),
-                "golden_rows": len(golden_result.rows),
-                "first_differing_indices": differing[:8],
-            })
-        merged_fronts = {key: front.to_dict()
-                         for key, front in merged_result.fronts.items()}
-        golden_fronts = {key: front.to_dict()
-                         for key, front in golden_result.fronts.items()}
-        if merged_fronts != golden_fronts:
-            mismatches.append({"experiment": name, "kind": "fronts",
-                               "merged": sorted(merged_fronts),
-                               "golden": sorted(golden_fronts)})
-    return mismatches
-
-
 def _cmd_merge(args: argparse.Namespace) -> int:
     from .experiments import merge_run
+    from .experiments.runner import compare_to_golden
 
     started = time.perf_counter()
     merged = merge_run(args.inputs, output_dir=args.out, store=args.store)
@@ -288,7 +395,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     }
     status = 0
     if args.golden is not None:
-        mismatches = _compare_to_golden(merged, args.golden)
+        mismatches = compare_to_golden(merged, args.golden)
         document["golden"] = args.golden
         document["identical_to_golden"] = not mismatches
         if mismatches:
@@ -356,6 +463,75 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command is None:
+        build_parser().parse_args(["fleet", "--help"])  # prints and exits
+        return 2  # pragma: no cover - parse_args exits above
+
+    if args.fleet_command == "plan":
+        from .fleet import plan_queue
+
+        document = plan_queue(args.queue,
+                              experiments=args.experiments or None,
+                              shards=args.shards, reduced=args.reduced,
+                              backend=args.backend, ttl_s=args.ttl,
+                              max_attempts=args.max_attempts,
+                              include_ablations=args.ablations)
+        _log(f"planned {len(document['tasks'])} task(s) under {args.queue}")
+        _emit({"command": "fleet plan", **document})
+        return 0
+
+    if args.fleet_command == "work":
+        from .fleet import FleetWorker
+
+        worker = FleetWorker(args.queue, owner=args.owner,
+                             workers=args.workers, max_tasks=args.max_tasks,
+                             poll_retries=args.poll_retries,
+                             poll_base_delay=args.poll_delay)
+        _log(f"worker {worker.owner!r} joining {args.queue}")
+        summary = worker.run()
+        _log(f"worker {worker.owner!r}: {summary['completed']} task(s) "
+             f"completed, drained={summary['drained']}")
+        _emit({"command": "fleet work", **summary})
+        reached_cap = (args.max_tasks is not None
+                       and len(summary["tasks"]) >= args.max_tasks)
+        return 0 if summary["drained"] or reached_cap else 1
+
+    if args.fleet_command == "status":
+        from .fleet import queue_status
+
+        status = queue_status(args.queue, reclaim=args.reclaim)
+        _emit({"command": "fleet status", **status})
+        return 0
+
+    if args.fleet_command == "harvest":
+        from .fleet import harvest
+
+        document, status = harvest(args.queue, output_dir=args.out,
+                                   store=args.store, golden=args.golden)
+        if status:
+            _log(f"FAIL: {document.get('error', 'harvest diverged from the golden run')}")
+        elif args.golden is not None:
+            _log("harvested rows and fronts are bit-identical to the "
+                 "golden run")
+        _emit({"command": "fleet harvest", **document})
+        return status
+
+    raise ValueError(f"unknown fleet verb {args.fleet_command!r}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import generate_report
+
+    document = generate_report(args.bundle, bench_paths=args.bench_paths,
+                               output=args.output, title=args.title,
+                               generated=time.strftime("%Y-%m-%d %H:%M:%S"))
+    _log(f"wrote {document['output']} ({document['bytes']} bytes, "
+         f"{document['fronts']} front(s))")
+    _emit({"command": "report", **document})
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .server import EvalServer
     from .server.dispatch import _status
@@ -401,7 +577,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     try:
         envelope = query(args.url, args.action,
                          params=_parse_query_params(args),
-                         timeout=args.timeout)
+                         timeout=args.timeout, retries=args.retries)
     except ServerUnavailable as error:
         _log(f"error: {error}")
         return 2
@@ -422,6 +598,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     handlers = {"run": _cmd_run, "merge": _cmd_merge,
                 "list": _cmd_list, "bench": _cmd_bench,
+                "fleet": _cmd_fleet, "report": _cmd_report,
                 "serve": _cmd_serve, "query": _cmd_query}
     try:
         return handlers[args.command](args)

@@ -1,0 +1,71 @@
+"""Retry with exponential backoff and jitter — one helper, two consumers.
+
+The fleet worker polls a shared-directory lease queue (contention and
+drain-then-refill are *normal*, not errors) and the evaluation-server
+client crosses a network (a connect refused during a server restart is
+transient).  Both want the same shape: try, sleep an exponentially
+growing — but jittered, so a fleet of workers does not thunder in
+lockstep — delay, try again, and give up loudly after a bounded number
+of attempts.
+
+:func:`retry_with_backoff` is deliberately dependency-injected (``sleep``
+and ``rng``) so tests can pin the exact schedule without waiting it out.
+"""
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar, Union
+
+T = TypeVar("T")
+
+RetryOn = Union[Type[BaseException], Tuple[Type[BaseException], ...]]
+
+
+def backoff_delays(retries: int, base_delay: float, jitter: float,
+                   max_delay: float = 30.0,
+                   rng: Optional[random.Random] = None) -> list:
+    """The delay schedule :func:`retry_with_backoff` sleeps between tries.
+
+    Delay ``k`` (zero-based) is ``base_delay * 2**k``, capped at
+    ``max_delay``, then scaled by a uniform random factor in
+    ``[1 - jitter, 1 + jitter]``.  ``jitter=0`` makes the schedule exact —
+    what the tests pin — and a seeded ``rng`` makes a jittered one
+    reproducible.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be within [0, 1], got {jitter}")
+    rng = rng if rng is not None else random
+    delays = []
+    for attempt in range(retries):
+        delay = min(base_delay * (2.0 ** attempt), max_delay)
+        if jitter:
+            delay *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+        delays.append(max(0.0, delay))
+    return delays
+
+
+def retry_with_backoff(fn: Callable[[], T], retries: int = 5,
+                       base_delay: float = 0.05, jitter: float = 0.5,
+                       retry_on: RetryOn = Exception,
+                       max_delay: float = 30.0,
+                       sleep: Callable[[float], None] = time.sleep,
+                       rng: Optional[random.Random] = None) -> T:
+    """Call ``fn`` until it returns, retrying ``retry_on`` with backoff.
+
+    ``fn`` is attempted up to ``retries + 1`` times.  An exception matching
+    ``retry_on`` triggers a sleep (next delay from :func:`backoff_delays`)
+    and another attempt; any other exception — and the matching exception
+    of the *last* attempt — propagates unchanged, so the caller sees the
+    real failure, not a wrapper.
+    """
+    delays = backoff_delays(retries, base_delay, jitter,
+                            max_delay=max_delay, rng=rng)
+    for delay in delays:
+        try:
+            return fn()
+        except retry_on:
+            sleep(delay)
+    return fn()

@@ -12,9 +12,14 @@ Design constraints:
 * **Corruption is a cache miss, never a crash.**  A truncated, garbled or
   concurrently-overwritten file simply fails validation and the caller
   recomputes; the store never propagates a decode error.
-* **Writes are atomic.**  Records are written to a same-directory temporary
-  file and moved into place with ``os.replace``, so a reader can never see a
-  partial document under the final name.
+* **Writes are atomic and durable.**  Records are written to a
+  same-directory temporary file, fsynced, and moved into place with
+  ``os.replace``, so a reader can never see a partial document under the
+  final name — and a machine crash right after the rename cannot leave an
+  empty file behind it (the fleet queue leans on this: a SIGKILLed
+  worker's store must contain only complete records).  Set
+  ``REPRO_STORE_FSYNC=0`` to trade that durability back for speed on
+  throwaway stores.
 * **Keys are structural.**  A key is any JSON-able structure (dicts, lists,
   numbers, strings); NumPy arrays and dataclasses are canonicalised by
   content (:func:`canonical_key`), so e.g. a workload configuration holding
@@ -101,6 +106,8 @@ class ResultStore:
         self._hits = 0
         self._misses = 0
         self._saves = 0
+        self._absorbed = 0
+        self._conflicts = 0
 
     @classmethod
     def of(cls, store: StoreLike) -> Optional["ResultStore"]:
@@ -173,7 +180,7 @@ class ResultStore:
         temporary = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            temporary.write_text(text)
+            _write_durable(temporary, text)
             os.replace(temporary, path)
         except OSError:
             temporary.unlink(missing_ok=True)
@@ -192,31 +199,55 @@ class ResultStore:
         Record files are content-addressed (the filename is the digest of
         the structural key), so absorbing is a plain file copy: records
         already present here are left untouched, new ones are copied
-        atomically.  This is the fan-in step of a sharded run — every
-        shard's store folds into one, and a later resumed or unsharded run
-        sees the union of everything any shard computed.  Unreadable
-        source files are skipped (corruption is a miss, never a crash).
+        atomically (fsync + rename, like :meth:`save`).  This is the
+        fan-in step of a sharded or fleet run — every shard's store folds
+        into one, and a later resumed or unsharded run sees the union of
+        everything any shard computed.  Absorbing the same source twice —
+        or two overlapping sources, concurrently, from several threads —
+        is idempotent: a record that already exists here is never
+        rewritten, so the first copy wins and re-absorption counts zero.
+        Unreadable source files are skipped (corruption is a miss, never a
+        crash).
+
+        Counters (see :meth:`stats`): ``absorbed`` accumulates records
+        actually copied in; ``conflicts`` counts records skipped because
+        this store already held a *byte-different* record under the same
+        digest — the signature of a reclaimed fleet task whose two
+        attempts recorded non-identical payloads (same structural key, so
+        either copy is valid; byte-identical overlaps are silent).
         """
         source = ResultStore.of(other)
         if source is None or not source.directory.is_dir():
             return 0
         absorbed = 0
+        conflicts = 0
         with self._lock:
             for record in sorted(source.directory.rglob("*.json")):
                 relative = record.relative_to(source.directory)
                 target = self.directory / relative
-                if target.exists():
-                    continue
-                temporary = target.with_suffix(f".{os.getpid()}.tmp")
                 try:
                     text = record.read_text()
+                except OSError:
+                    continue
+                if target.exists():
+                    try:
+                        if target.read_text() != text:
+                            conflicts += 1
+                    except OSError:
+                        pass
+                    continue
+                temporary = target.with_suffix(
+                    f".{os.getpid()}.{threading.get_ident()}.tmp")
+                try:
                     target.parent.mkdir(parents=True, exist_ok=True)
-                    temporary.write_text(text)
+                    _write_durable(temporary, text)
                     os.replace(temporary, target)
                 except OSError:
                     temporary.unlink(missing_ok=True)
                     continue
                 absorbed += 1
+            self._absorbed += absorbed
+            self._conflicts += conflicts
         return absorbed
 
     # ------------------------------------------------------------------ #
@@ -235,8 +266,10 @@ class ResultStore:
         ``records`` / ``bytes`` walk the directory (validity not checked);
         ``hits`` / ``misses`` / ``saves`` count this instance's own
         :meth:`load` and :meth:`save` outcomes — the numbers the evaluation
-        server's ``status`` action reports.  Counters are per instance, not
-        per directory: two stores opened on the same path count separately.
+        server's ``status`` action reports — and ``absorbed`` /
+        ``conflicts`` its :meth:`absorb` outcomes (the numbers the fleet
+        harvest reports).  Counters are per instance, not per directory:
+        two stores opened on the same path count separately.
         """
         records = 0
         size = 0
@@ -255,7 +288,22 @@ class ResultStore:
                 "hits": self._hits,
                 "misses": self._misses,
                 "saves": self._saves,
+                "absorbed": self._absorbed,
+                "conflicts": self._conflicts,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ResultStore {self.directory}>"
+
+
+def _write_durable(path: Path, text: str) -> None:
+    """Write ``text`` and fsync it, so a post-rename crash keeps the bytes.
+
+    ``REPRO_STORE_FSYNC=0`` skips the sync for throwaway stores (e.g. the
+    tier-1 test suite's tmp dirs, where durability only costs time).
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if os.environ.get("REPRO_STORE_FSYNC", "1") not in ("", "0"):
+            handle.flush()
+            os.fsync(handle.fileno())

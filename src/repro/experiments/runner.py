@@ -336,6 +336,48 @@ def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
     return bundle
 
 
+def compare_to_golden(merged: ResultBundle, golden_dir: Union[str, Path]
+                      ) -> List[Dict[str, object]]:
+    """Row/front divergences of a merged bundle against a golden run.
+
+    The bit-identity gate shared by ``repro merge --golden`` and
+    ``repro fleet harvest --golden``: every experiment present on either
+    side is compared row by row and front by front; an empty list means
+    the merged result is bit-identical to the golden (unsharded) run
+    directory.
+    """
+    golden = ResultBundle.load_dir(golden_dir)
+    mismatches: List[Dict[str, object]] = []
+    for name in sorted(set(golden.results) | set(merged.results)):
+        if name not in golden.results or name not in merged.results:
+            mismatches.append({"experiment": name,
+                               "kind": "missing",
+                               "present_in": "merged" if name in merged.results
+                               else "golden"})
+            continue
+        golden_result = golden.get(name)
+        merged_result = merged.get(name)
+        if merged_result.rows != golden_result.rows:
+            differing = [index for index, (a, b)
+                         in enumerate(zip(merged_result.rows,
+                                          golden_result.rows)) if a != b]
+            mismatches.append({
+                "experiment": name, "kind": "rows",
+                "merged_rows": len(merged_result.rows),
+                "golden_rows": len(golden_result.rows),
+                "first_differing_indices": differing[:8],
+            })
+        merged_fronts = {key: front.to_dict()
+                         for key, front in merged_result.fronts.items()}
+        golden_fronts = {key: front.to_dict()
+                         for key, front in golden_result.fronts.items()}
+        if merged_fronts != golden_fronts:
+            mismatches.append({"experiment": name, "kind": "fronts",
+                               "merged": sorted(merged_fronts),
+                               "golden": sorted(golden_fronts)})
+    return mismatches
+
+
 def merge_run(inputs: Sequence[Union[str, Path, ResultBundle]],
               output_dir: Optional[Union[str, Path]] = None,
               store: StoreLike = None) -> RunAllResult:

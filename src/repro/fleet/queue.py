@@ -1,0 +1,563 @@
+"""Filesystem-backed lease queue: the fleet's shared coordination state.
+
+No broker, no database — a :class:`LeaseQueue` is a directory (local or on
+a shared filesystem) whose *files are the state machine*.  Every
+transition is a single atomic filesystem operation, so any number of
+worker processes on any number of machines can race without locks:
+
+* **claim** — exclusive creation of ``leases/<task>.json`` via
+  ``os.link`` from a fully-written temporary (content-complete and
+  exclusive in one step; the second claimant loses with
+  ``FileExistsError``);
+* **heartbeat** — atomic ``os.replace`` of the lease with a fresh
+  timestamp;
+* **reclaim** — ``os.replace`` of an *expired* lease into
+  ``attempts/<task>.<k>.json``; the rename both frees the task and files
+  the forensic record of the dead attempt, and only one reclaimer can win
+  it (the loser's rename finds no source);
+* **complete** — exclusive creation of ``done/<task>.json``; a second
+  completion of the same task (its first owner lost the lease mid-compute
+  but finished anyway) is *detected and rejected*, never merged twice;
+* **poison** — a task whose failed attempts reach ``max_attempts`` is
+  tombstoned into ``failed/<task>.json`` with every attempt report
+  attached, so a poison shard fails loudly instead of looping forever.
+
+Layout under the queue directory::
+
+    queue.json                     the plan: experiments, shards, ttl, ...
+    tasks/<task>.json              immutable task definitions
+    leases/<task>.json             live leases (owner, heartbeat, ttl)
+    attempts/<task>.<k>.json       one record per failed/reclaimed attempt
+    done/<task>.json               completion tombstones -> output dirs
+    failed/<task>.json             poison tombstones (retries exhausted)
+    out/<task>/a<k>-<owner>/       per-attempt run artifacts
+    stores/<owner>/                per-worker ResultStore directories
+
+Leases are advisory — they make the fleet *efficient* (at most one worker
+per task while heartbeats flow) — but correctness never rests on them:
+the ``done/`` tombstone's exclusive creation is the one true commit
+point, and per-attempt output directories keep racing attempts from
+scribbling over each other.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+#: queue.json schema version; bump when the on-disk layout changes.
+QUEUE_VERSION = 1
+
+
+class QueueError(ValueError):
+    """A structurally unusable queue (missing plan, bad version, ...)."""
+
+
+def default_owner() -> str:
+    """A reasonably unique worker identity: host, pid and thread."""
+    return f"{socket.gethostname()}-{os.getpid()}-{threading.get_ident()}"
+
+
+def _write_text_durable(path: Path, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _exclusive_create(path: Path, document: Dict[str, object]) -> bool:
+    """Atomically create ``path`` holding ``document``; False if it exists.
+
+    The document is fully written (and fsynced) to a temporary file first
+    and linked into place, so a winner's file is never observable
+    half-written and exactly one concurrent creator can win.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_suffix(
+        f".{os.getpid()}.{threading.get_ident()}.tmp")
+    try:
+        _write_text_durable(temporary,
+                            json.dumps(document, indent=2, sort_keys=True))
+        os.link(temporary, path)
+        return True
+    except FileExistsError:
+        return False
+    except OSError:
+        # ``os.link`` unsupported (exotic filesystems): fall back to
+        # O_EXCL creation — still exclusive, marginally less atomic.
+        try:
+            with open(path, "x", encoding="utf-8") as handle:
+                handle.write(json.dumps(document, indent=2, sort_keys=True))
+            return True
+        except FileExistsError:
+            return False
+    finally:
+        temporary.unlink(missing_ok=True)
+
+
+def _read_json(path: Path) -> Optional[Dict[str, object]]:
+    """The JSON object at ``path``, or ``None`` on any problem."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+class Lease:
+    """One claimed task: the worker's handle for heartbeat and commit."""
+
+    def __init__(self, queue: "LeaseQueue", task_id: str, owner: str,
+                 attempt: int, ttl_s: float) -> None:
+        self.queue = queue
+        self.task_id = task_id
+        self.owner = owner
+        self.attempt = attempt
+        self.ttl_s = ttl_s
+
+    @property
+    def path(self) -> Path:
+        return self.queue.lease_path(self.task_id)
+
+    @property
+    def task(self) -> Dict[str, object]:
+        document = _read_json(self.queue.task_path(self.task_id))
+        if document is None:
+            raise QueueError(f"task file for {self.task_id!r} is unreadable")
+        return document
+
+    # ------------------------------------------------------------------ #
+    # Liveness
+    # ------------------------------------------------------------------ #
+    def heartbeat(self) -> bool:
+        """Refresh the lease timestamp; False once the lease was lost.
+
+        A ``False`` return means an expiry reclaim took the task away
+        (the worker stalled longer than the TTL).  The worker may keep
+        computing — completion is still exclusive — but should expect its
+        :meth:`complete` to lose the race.
+        """
+        current = _read_json(self.path)
+        if current is None or current.get("owner") != self.owner:
+            return False
+        current["heartbeat_at"] = self.queue.clock()
+        temporary = self.path.with_suffix(
+            f".{os.getpid()}.{threading.get_ident()}.hb.tmp")
+        try:
+            _write_text_durable(temporary,
+                                json.dumps(current, indent=2, sort_keys=True))
+            os.replace(temporary, self.path)
+        except OSError:
+            temporary.unlink(missing_ok=True)
+            return False
+        return True
+
+    def release(self) -> None:
+        """Drop the lease if still ours (best effort, used on failure)."""
+        current = _read_json(self.path)
+        if current is not None and current.get("owner") == self.owner:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Terminal transitions
+    # ------------------------------------------------------------------ #
+    def complete(self, output: Union[str, Path],
+                 summary: Optional[Dict[str, object]] = None) -> bool:
+        """Commit this attempt's output; False on a double completion.
+
+        ``output`` is the artifact directory (relative paths are kept
+        relative to the queue directory, so the queue moves wholesale).
+        Exactly one completion per task ever succeeds; the tombstone
+        records *which* attempt's output directory is canonical, and the
+        harvest reads only tombstoned directories.
+        """
+        output_path = Path(output)
+        try:
+            recorded = str(output_path.relative_to(self.queue.directory))
+        except ValueError:
+            recorded = str(output_path)
+        tombstone = {
+            "task": self.task_id,
+            "owner": self.owner,
+            "attempt": self.attempt,
+            "output": recorded,
+            "completed_at": self.queue.clock(),
+        }
+        if summary:
+            tombstone["summary"] = summary
+        won = _exclusive_create(self.queue.done_path(self.task_id), tombstone)
+        self.release()
+        return won
+
+    def fail(self, reason: str) -> None:
+        """Record a failed attempt (worker-side exception) and release."""
+        self.queue.record_failure(self.task_id, self.attempt, self.owner,
+                                  reason)
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Lease {self.task_id} owner={self.owner!r} "
+                f"attempt={self.attempt}>")
+
+
+class LeaseQueue:
+    """The shared work queue: plan it once, then claim/heartbeat/complete.
+
+    ``clock`` is injectable for tests (expiry without waiting out a TTL).
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 clock: Callable[[], float] = time.time) -> None:
+        self.directory = Path(directory)
+        self.clock = clock
+        self._config: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def task_path(self, task_id: str) -> Path:
+        return self.directory / "tasks" / f"{task_id}.json"
+
+    def lease_path(self, task_id: str) -> Path:
+        return self.directory / "leases" / f"{task_id}.json"
+
+    def done_path(self, task_id: str) -> Path:
+        return self.directory / "done" / f"{task_id}.json"
+
+    def failed_path(self, task_id: str) -> Path:
+        return self.directory / "failed" / f"{task_id}.json"
+
+    def output_dir(self, task_id: str, attempt: int, owner: str) -> Path:
+        safe_owner = "".join(c if c.isalnum() or c in "-_." else "_"
+                             for c in owner)
+        return self.directory / "out" / task_id / f"a{attempt}-{safe_owner}"
+
+    def worker_store_dir(self, owner: str) -> Path:
+        safe_owner = "".join(c if c.isalnum() or c in "-_." else "_"
+                             for c in owner)
+        return self.directory / "stores" / safe_owner
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def plan(cls, directory: Union[str, Path],
+             experiments: Optional[Sequence[str]] = None,
+             shards: int = 4, reduced: bool = True, backend: str = "direct",
+             ttl_s: float = 60.0, max_attempts: int = 3,
+             include_ablations: bool = True,
+             clock: Callable[[], float] = time.time) -> "LeaseQueue":
+        """Create a queue of ``shards`` shard tasks over the experiments.
+
+        One task per shard index — each task runs ``run_all(shard=(i, n))``
+        over the *same* experiment selection, exactly the partition
+        ``merge_shards`` knows how to reassemble bit-identically.
+        Planning an already-planned directory raises (a queue is created
+        once; workers join it).
+        """
+        from ..experiments.runner import select_experiments
+
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
+        # Validate the selection (and pin its names) before touching disk.
+        names = [spec.name for spec in
+                 select_experiments(experiments, include_ablations)]
+        queue = cls(directory, clock=clock)
+        if (queue.directory / "queue.json").exists():
+            raise QueueError(
+                f"{queue.directory} already holds a planned queue")
+        queue.directory.mkdir(parents=True, exist_ok=True)
+        from .. import __version__
+
+        config = {
+            "queue_version": QUEUE_VERSION,
+            "repro": __version__,
+            "experiments": names,
+            "explicit_selection": experiments is not None,
+            "shards": int(shards),
+            "reduced": bool(reduced),
+            "backend": str(backend),
+            "ttl_s": float(ttl_s),
+            "max_attempts": int(max_attempts),
+            "created_at": clock(),
+        }
+        for index in range(shards):
+            task_id = f"shard-{index:03d}-of-{shards:03d}"
+            _exclusive_create(queue.task_path(task_id), {
+                "task": task_id,
+                "shard": [index, int(shards)],
+            })
+        _write_text_durable(queue.directory / "queue.json",
+                            json.dumps(config, indent=2, sort_keys=True))
+        queue._config = config
+        return queue
+
+    @property
+    def config(self) -> Dict[str, object]:
+        if self._config is None:
+            document = _read_json(self.directory / "queue.json")
+            if document is None:
+                raise QueueError(
+                    f"{self.directory} holds no queue.json — not a planned "
+                    f"fleet queue (run 'fleet plan' first)")
+            if document.get("queue_version") != QUEUE_VERSION:
+                raise QueueError(
+                    f"{self.directory} has queue_version "
+                    f"{document.get('queue_version')!r}, expected "
+                    f"{QUEUE_VERSION}")
+            self._config = document
+        return self._config
+
+    def task_ids(self) -> List[str]:
+        base = self.directory / "tasks"
+        if not base.is_dir():
+            return []
+        return sorted(path.stem for path in base.glob("*.json"))
+
+    # ------------------------------------------------------------------ #
+    # Attempt bookkeeping
+    # ------------------------------------------------------------------ #
+    def _attempt_records(self, task_id: str) -> List[Path]:
+        base = self.directory / "attempts"
+        if not base.is_dir():
+            return []
+        return sorted(base.glob(f"{task_id}.*.json"))
+
+    def attempt_count(self, task_id: str) -> int:
+        """Failed attempts so far (reclaims plus worker-reported errors)."""
+        return len(self._attempt_records(task_id))
+
+    def record_failure(self, task_id: str, attempt: int, owner: str,
+                       reason: str) -> None:
+        """File a failed-attempt record (idempotent per attempt number)."""
+        path = (self.directory / "attempts"
+                / f"{task_id}.{attempt:03d}.json")
+        _exclusive_create(path, {
+            "task": task_id,
+            "attempt": attempt,
+            "owner": owner,
+            "reason": reason,
+            "recorded_at": self.clock(),
+        })
+
+    def _reclaim_lease(self, task_id: str,
+                       lease: Dict[str, object]) -> bool:
+        """Move an expired lease into the attempt records; True if we won."""
+        attempt = int(lease.get("attempt", self.attempt_count(task_id) + 1))
+        grave = (self.directory / "attempts"
+                 / f"{task_id}.{attempt:03d}.json")
+        grave.parent.mkdir(parents=True, exist_ok=True)
+        if grave.exists():
+            # The attempt record already exists (worker filed an error for
+            # this very attempt); just clear the stale lease.
+            try:
+                self.lease_path(task_id).unlink()
+            except OSError:
+                return False
+            return True
+        try:
+            os.replace(self.lease_path(task_id), grave)
+        except OSError:
+            return False  # lost the reclaim race (or lease vanished)
+        # Annotate the grave with why it is there; we own the file now.
+        lease = dict(lease)
+        lease["reason"] = "lease_expired"
+        lease["reclaimed_at"] = self.clock()
+        try:
+            _write_text_durable(grave,
+                                json.dumps(lease, indent=2, sort_keys=True))
+        except OSError:
+            pass
+        return True
+
+    def _fail_task(self, task_id: str) -> bool:
+        """Tombstone a task whose retries are exhausted; True if we won."""
+        reports = [_read_json(path) or {"unreadable": str(path)}
+                   for path in self._attempt_records(task_id)]
+        return _exclusive_create(self.failed_path(task_id), {
+            "task": task_id,
+            "attempts": reports,
+            "failed_at": self.clock(),
+        })
+
+    def _lease_expired(self, task_id: str,
+                       lease: Optional[Dict[str, object]]) -> bool:
+        if lease is None:
+            # Unreadable lease: fall back to the file clock so a garbage
+            # file cannot wedge the task forever.
+            try:
+                age = self.clock() - self.lease_path(task_id).stat().st_mtime
+            except OSError:
+                return False
+            return age > float(self.config.get("ttl_s", 60.0))
+        ttl = float(lease.get("ttl_s", self.config.get("ttl_s", 60.0)))
+        beat = float(lease.get("heartbeat_at",
+                               lease.get("acquired_at", 0.0)))
+        return (self.clock() - beat) > ttl
+
+    # ------------------------------------------------------------------ #
+    # Claiming
+    # ------------------------------------------------------------------ #
+    def claim(self, owner: Optional[str] = None) -> Optional[Lease]:
+        """Claim one runnable task, reclaiming expired leases on the way.
+
+        Returns a :class:`Lease`, or ``None`` when no task is claimable
+        right now — distinguish *drained* (every task terminal — see
+        :meth:`finished`) from *contended* (live leases still out) via
+        :meth:`status`.  Tasks are visited in a rotation keyed on the
+        owner name, so a fleet of workers spreads over the queue instead
+        of stampeding the first pending task.
+        """
+        owner = owner or default_owner()
+        config = self.config
+        ttl = float(config.get("ttl_s", 60.0))
+        max_attempts = int(config.get("max_attempts", 3))
+        tasks = self.task_ids()
+        if not tasks:
+            return None
+        offset = int(hashlib.sha1(owner.encode()).hexdigest(), 16) % len(tasks)
+        for task_id in tasks[offset:] + tasks[:offset]:
+            if self.done_path(task_id).exists() \
+                    or self.failed_path(task_id).exists():
+                continue
+            lease_path = self.lease_path(task_id)
+            if lease_path.exists():
+                lease = _read_json(lease_path)
+                if not self._lease_expired(task_id, lease):
+                    continue
+                if not self._reclaim_lease(task_id, lease or {}):
+                    continue  # another worker handled the expiry
+            attempts = self.attempt_count(task_id)
+            if attempts >= max_attempts:
+                self._fail_task(task_id)
+                continue
+            acquired = {
+                "task": task_id,
+                "owner": owner,
+                "attempt": attempts + 1,
+                "acquired_at": self.clock(),
+                "heartbeat_at": self.clock(),
+                "ttl_s": ttl,
+            }
+            if _exclusive_create(lease_path, acquired):
+                return Lease(self, task_id, owner, attempts + 1, ttl)
+        return None
+
+    def reclaim_expired(self) -> int:
+        """One coordinator sweep: reclaim every expired lease, tombstone
+        exhausted tasks; returns how many leases were reclaimed."""
+        reclaimed = 0
+        max_attempts = int(self.config.get("max_attempts", 3))
+        for task_id in self.task_ids():
+            if self.done_path(task_id).exists() \
+                    or self.failed_path(task_id).exists():
+                continue
+            lease_path = self.lease_path(task_id)
+            if lease_path.exists():
+                lease = _read_json(lease_path)
+                if self._lease_expired(task_id, lease) \
+                        and self._reclaim_lease(task_id, lease or {}):
+                    reclaimed += 1
+            if self.attempt_count(task_id) >= max_attempts \
+                    and not lease_path.exists():
+                self._fail_task(task_id)
+        return reclaimed
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def finished(self) -> bool:
+        """Every task terminal (done or failed) — nothing left to run."""
+        return all(self.done_path(t).exists() or self.failed_path(t).exists()
+                   for t in self.task_ids())
+
+    def outstanding(self) -> List[str]:
+        """Tasks not yet terminal (pending or leased)."""
+        return [t for t in self.task_ids()
+                if not (self.done_path(t).exists()
+                        or self.failed_path(t).exists())]
+
+    def completed_outputs(self) -> List[Tuple[str, Path]]:
+        """(task, canonical artifact directory) for every done task."""
+        outputs = []
+        for task_id in self.task_ids():
+            tombstone = _read_json(self.done_path(task_id))
+            if tombstone is None:
+                continue
+            outputs.append((task_id,
+                            self.directory / str(tombstone.get("output"))))
+        return outputs
+
+    def failure_reports(self) -> Dict[str, Dict[str, object]]:
+        """Poison tombstones, keyed by task."""
+        reports = {}
+        for task_id in self.task_ids():
+            report = _read_json(self.failed_path(task_id))
+            if report is not None:
+                reports[task_id] = report
+        return reports
+
+    def status(self) -> Dict[str, object]:
+        """Live progress counters — what ``repro fleet status`` prints."""
+        now = self.clock()
+        pending = leased = done = failed = 0
+        workers: Dict[str, Dict[str, object]] = {}
+        reclaims = 0
+        worker_errors = 0
+        for task_id in self.task_ids():
+            if self.done_path(task_id).exists():
+                done += 1
+            elif self.failed_path(task_id).exists():
+                failed += 1
+            elif self.lease_path(task_id).exists():
+                lease = _read_json(self.lease_path(task_id))
+                expired = self._lease_expired(task_id, lease)
+                leased += 1
+                if lease is not None:
+                    owner = str(lease.get("owner", "?"))
+                    beat = float(lease.get("heartbeat_at", now))
+                    workers[owner] = {
+                        "task": task_id,
+                        "attempt": int(lease.get("attempt", 1)),
+                        "heartbeat_age_s": round(max(0.0, now - beat), 3),
+                        "expired": expired,
+                    }
+            else:
+                pending += 1
+            for record_path in self._attempt_records(task_id):
+                record = _read_json(record_path) or {}
+                if record.get("reason") == "lease_expired":
+                    reclaims += 1
+                else:
+                    worker_errors += 1
+        config = self.config
+        return {
+            "directory": str(self.directory),
+            "tasks": len(self.task_ids()),
+            "pending": pending,
+            "leased": leased,
+            "done": done,
+            "failed": failed,
+            "reclaims": reclaims,
+            "worker_errors": worker_errors,
+            "workers": workers,
+            "finished": (pending == leased == 0),
+            "config": {key: config.get(key)
+                       for key in ("experiments", "shards", "reduced",
+                                   "backend", "ttl_s", "max_attempts")},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<LeaseQueue {self.directory}>"

@@ -1,0 +1,203 @@
+"""The fleet worker: claim a shard lease, compute, heartbeat, commit.
+
+A :class:`FleetWorker` is one process in the fleet.  Its loop is the
+standard lease-queue worker shape:
+
+1. **claim** a task (reclaiming expired leases on the way in);
+2. start a **heartbeat thread** that refreshes the lease every quarter
+   TTL while the shard computes — a worker that dies (even ``SIGKILL``,
+   which runs no cleanup) simply stops heartbeating, its lease expires,
+   and another worker reclaims the task;
+3. run the shard through the *existing* pipeline —
+   ``run_all(shard=(i, n))`` with a per-worker :class:`ResultStore`
+   that stays warm across this worker's tasks — writing artifacts
+   directly into the queue's per-attempt output area;
+4. **complete**: exclusively tombstone the task (a lost completion race
+   is counted, not fatal) — or, on an exception, file the failed attempt
+   and release the lease so the retry budget ticks down;
+5. when nothing is claimable, **back off with jitter**
+   (:func:`~repro.core.retry.retry_with_backoff`) and poll again, exiting
+   with a drained summary once every task is terminal.
+"""
+from __future__ import annotations
+
+import random
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from ..core.retry import retry_with_backoff
+from ..core.store import ResultStore
+from .queue import Lease, LeaseQueue, default_owner
+
+
+class QueueBusy(Exception):
+    """Nothing claimable right now, but tasks are still outstanding."""
+
+
+class _HeartbeatThread(threading.Thread):
+    """Background lease refresh while the shard computes.
+
+    Beats every quarter TTL (floored at 50 ms).  If a beat discovers the
+    lease was reclaimed (`heartbeat()` returns False) the thread stops
+    and flags it; the worker finds out at commit time — completion is
+    exclusive either way.
+    """
+
+    def __init__(self, lease: Lease) -> None:
+        super().__init__(daemon=True,
+                         name=f"heartbeat-{lease.task_id}")
+        self.lease = lease
+        self.interval_s = max(0.05, lease.ttl_s / 4.0)
+        self.lost = False
+        self.beats = 0
+        # Not named ``_stop``: Thread itself owns a private ``_stop()``.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval_s):
+            if not self.lease.heartbeat():
+                self.lost = True
+                return
+            self.beats += 1
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+def _run_shard_task(task: Dict[str, object], config: Dict[str, object],
+                    store: ResultStore, output_dir: Path,
+                    workers: int = 1) -> Dict[str, object]:
+    """Default task runner: the existing ``run_all`` on one shard."""
+    from ..experiments.runner import run_all
+
+    index, count = (int(v) for v in task["shard"])  # type: ignore[index]
+    # The plan pinned the experiment names at planning time; running the
+    # pinned list (select order is registry order either way) keeps every
+    # worker on the same suite even if the registry changes under them.
+    bundle = run_all(
+        output_dir=output_dir,
+        reduced=bool(config.get("reduced", True)),
+        backend=str(config.get("backend", "direct")),
+        workers=workers,
+        store=store,
+        shard=(index, count),
+        experiments=list(config["experiments"]),  # type: ignore[arg-type]
+    )
+    return {"rows": sum(len(result.rows)
+                        for result in bundle.results.values()),
+            "experiments": len(bundle.results)}
+
+
+class FleetWorker:
+    """One fleet process: claims leases until the queue drains.
+
+    ``poll_retries`` x ``poll_base_delay`` bound how long the worker
+    waits on a momentarily-unclaimable queue (every live task leased to
+    someone else) before giving up; a *finished* queue exits immediately.
+    ``runner`` is injectable for tests (e.g. a poison runner that always
+    raises for one shard).
+    """
+
+    def __init__(self, queue: Union[LeaseQueue, str, Path],
+                 owner: Optional[str] = None, workers: int = 1,
+                 max_tasks: Optional[int] = None,
+                 poll_retries: int = 20, poll_base_delay: float = 0.25,
+                 poll_jitter: float = 0.5,
+                 runner: Optional[Callable[..., Dict[str, object]]] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.queue = queue if isinstance(queue, LeaseQueue) \
+            else LeaseQueue(queue)
+        self.owner = owner or default_owner()
+        self.workers = int(workers)
+        self.max_tasks = max_tasks
+        self.poll_retries = int(poll_retries)
+        self.poll_base_delay = float(poll_base_delay)
+        self.poll_jitter = float(poll_jitter)
+        self.runner = runner or _run_shard_task
+        self.sleep = sleep
+        self._rng = random.Random(self.owner)
+
+    # ------------------------------------------------------------------ #
+    def _claim_or_raise(self) -> Optional[Lease]:
+        """One poll: a lease, ``None`` when finished, QueueBusy otherwise."""
+        lease = self.queue.claim(self.owner)
+        if lease is not None:
+            return lease
+        if self.queue.finished():
+            return None
+        raise QueueBusy(f"{len(self.queue.outstanding())} task(s) "
+                        f"outstanding, none claimable")
+
+    def _next_lease(self) -> Optional[Lease]:
+        """Poll with jittered exponential backoff until claim or drain."""
+        return retry_with_backoff(
+            self._claim_or_raise, retries=self.poll_retries,
+            base_delay=self.poll_base_delay, jitter=self.poll_jitter,
+            max_delay=10.0, retry_on=QueueBusy, sleep=self.sleep,
+            rng=self._rng)
+
+    def run_one(self, lease: Lease) -> Dict[str, object]:
+        """Execute one leased shard and commit (or file) the attempt."""
+        started = time.perf_counter()
+        output_dir = self.queue.output_dir(lease.task_id, lease.attempt,
+                                           self.owner)
+        store = ResultStore(self.queue.worker_store_dir(self.owner))
+        heartbeat = _HeartbeatThread(lease)
+        heartbeat.start()
+        try:
+            summary = self.runner(lease.task, self.queue.config, store,
+                                  output_dir, workers=self.workers)
+        except Exception as error:  # noqa: BLE001 - the attempt report
+            heartbeat.stop()
+            lease.fail(f"{type(error).__name__}: {error}")
+            return {"task": lease.task_id, "outcome": "error",
+                    "attempt": lease.attempt, "reason": str(error),
+                    "seconds": round(time.perf_counter() - started, 3)}
+        heartbeat.stop()
+        summary = dict(summary or {})
+        summary["seconds"] = round(time.perf_counter() - started, 3)
+        committed = lease.complete(output_dir, summary=summary)
+        return {"task": lease.task_id,
+                "outcome": "completed" if committed else "double_completion",
+                "attempt": lease.attempt,
+                "heartbeats": heartbeat.beats,
+                "lease_lost": heartbeat.lost,
+                **summary}
+
+    def run(self) -> Dict[str, object]:
+        """Drain the queue; the worker's JSON exit summary."""
+        started = time.perf_counter()
+        tasks = []
+        completed = failures = double_completions = 0
+        drained = False
+        while self.max_tasks is None or len(tasks) < self.max_tasks:
+            try:
+                lease = self._next_lease()
+            except QueueBusy:
+                break  # gave up waiting on other workers' live leases
+            if lease is None:
+                drained = True
+                break
+            outcome = self.run_one(lease)
+            tasks.append(outcome)
+            if outcome["outcome"] == "completed":
+                completed += 1
+            elif outcome["outcome"] == "error":
+                failures += 1
+            else:
+                double_completions += 1
+        if not drained and self.queue.finished():
+            drained = True
+        return {
+            "owner": self.owner,
+            "queue": str(self.queue.directory),
+            "tasks": tasks,
+            "completed": completed,
+            "failed_attempts": failures,
+            "double_completions": double_completions,
+            "drained": drained,
+            "seconds": round(time.perf_counter() - started, 3),
+        }

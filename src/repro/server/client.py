@@ -14,11 +14,13 @@ on this function.
 from __future__ import annotations
 
 import json
+import random
 import urllib.error
 import urllib.request
 from typing import Dict, Optional
 
 from ..core.results import _jsonify
+from ..core.retry import retry_with_backoff
 
 
 class ServerUnavailable(RuntimeError):
@@ -27,28 +29,29 @@ class ServerUnavailable(RuntimeError):
 
 def query(url: str, action: str,
           params: Optional[Dict[str, object]] = None,
-          timeout: float = 30.0) -> Dict[str, object]:
+          timeout: float = 30.0, retries: int = 2,
+          retry_base_delay: float = 0.1) -> Dict[str, object]:
     """POST one protocol request to ``url`` and return the envelope.
 
     ``url`` is the server base (``http://host:port``); the protocol
     endpoint is its root.  Returns the decoded envelope whether the status
     is ``ok`` or ``error``; raises :class:`ServerUnavailable` only when no
-    envelope came back at all.
+    envelope came back at all.  Transport failures — connection refused
+    during a server restart, a dropped socket — are retried ``retries``
+    times with exponential backoff (:func:`repro.core.retry.retry_with_backoff`)
+    before :class:`ServerUnavailable` propagates; ``retries=0`` restores
+    the old fail-on-first-error behaviour.  Protocol error envelopes are
+    *answers*, never retried.
     """
     body = json.dumps({"action": action, "params": params or {}},
                       default=_jsonify).encode("utf-8")
     request = urllib.request.Request(
         url.rstrip("/") + "/", data=body,
         headers={"Content-Type": "application/json"}, method="POST")
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            payload = response.read()
-    except urllib.error.HTTPError as error:
-        # 4xx/5xx transports an error envelope; the body is the answer.
-        payload = error.read()
-    except (urllib.error.URLError, OSError) as error:
-        raise ServerUnavailable(
-            f"no evaluation server answered at {url}: {error}") from None
+    payload = retry_with_backoff(
+        lambda: _post_once(request, url, timeout), retries=retries,
+        base_delay=retry_base_delay, jitter=0.25,
+        retry_on=ServerUnavailable, rng=random.Random())
     try:
         envelope = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as error:
@@ -59,3 +62,17 @@ def query(url: str, action: str,
         raise ServerUnavailable(
             f"the server at {url} returned a non-object document")
     return envelope
+
+
+def _post_once(request: "urllib.request.Request", url: str,
+               timeout: float) -> bytes:
+    """One transport attempt: the raw response body, or ServerUnavailable."""
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read()
+    except urllib.error.HTTPError as error:
+        # 4xx/5xx transports an error envelope; the body is the answer.
+        return error.read()
+    except (urllib.error.URLError, OSError) as error:
+        raise ServerUnavailable(
+            f"no evaluation server answered at {url}: {error}") from None

@@ -170,15 +170,28 @@ def readme_cli_section() -> str:
 
 
 def parser_options():
-    """Long options per subcommand, straight from the argparse tree."""
-    parser = build_parser()
-    subparsers = next(action for action in parser._actions
-                      if hasattr(action, "choices") and action.choices)
+    """Long options per (sub)command, straight from the argparse tree.
+
+    Recurses into nested subparsers, so ``fleet plan`` / ``fleet work`` /
+    ``fleet status`` / ``fleet harvest`` each get their own entry and the
+    README must document every verb's flags.
+    """
+    import argparse
+
+    def walk(prefix, parser, into):
+        for action in parser._actions:
+            if not isinstance(action, argparse._SubParsersAction):
+                continue
+            for name, sub in action.choices.items():
+                full = f"{prefix} {name}".strip()
+                into[full] = {option for sub_action in sub._actions
+                              for option in sub_action.option_strings
+                              if option.startswith("--")
+                              and option != "--help"}
+                walk(full, sub, into)
+
     options = {}
-    for name, sub in subparsers.choices.items():
-        options[name] = {option for action in sub._actions
-                         for option in action.option_strings
-                         if option.startswith("--") and option != "--help"}
+    walk("", build_parser(), options)
     return options
 
 
@@ -214,7 +227,8 @@ def test_help_text_lists_subcommands(capsys):
     with pytest.raises(SystemExit):
         main(["--help"])
     out = capsys.readouterr().out
-    for subcommand in ("run", "merge", "list", "bench", "serve", "query"):
+    for subcommand in ("run", "merge", "list", "bench", "serve", "query",
+                       "fleet", "report"):
         assert subcommand in out
 
 
@@ -289,3 +303,98 @@ def test_query_rejects_malformed_params(capsys):
         "--param", "missing-separator")
     assert status == 2
     assert "KEY=VALUE" in err
+
+
+# --------------------------------------------------------------------------- #
+# fleet / report
+# --------------------------------------------------------------------------- #
+def test_fleet_plan_work_status_harvest_round_trip(capsys, tmp_path,
+                                                   monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_FSYNC", "0")
+    golden = tmp_path / "golden"
+    status, _, _ = run_cli(capsys, "run", *EXPERIMENTS, "--out", str(golden))
+    assert status == 0
+
+    queue = tmp_path / "q"
+    status, document, _ = run_cli(
+        capsys, "fleet", "plan", str(queue), *EXPERIMENTS,
+        "--shards", "2", "--ttl", "60", "--max-attempts", "2")
+    assert status == 0
+    assert document["command"] == "fleet plan"
+    assert document["tasks"] == ["shard-000-of-002", "shard-001-of-002"]
+    assert document["shards"] == 2
+
+    # Planning the same directory twice fails cleanly.
+    status, _, err = run_cli(capsys, "fleet", "plan", str(queue))
+    assert status == 2
+    assert "already holds" in err
+
+    # Harvesting before the fleet drains refuses with exit 1.
+    status, document, _ = run_cli(capsys, "fleet", "harvest", str(queue))
+    assert status == 1
+    assert len(document["outstanding"]) == 2
+
+    status, document, _ = run_cli(
+        capsys, "fleet", "work", str(queue), "--owner", "cli-worker")
+    assert status == 0
+    assert document["command"] == "fleet work"
+    assert document["completed"] == 2
+    assert document["drained"] is True
+
+    status, document, _ = run_cli(capsys, "fleet", "status", str(queue))
+    assert status == 0
+    assert document["command"] == "fleet status"
+    assert document["done"] == 2
+    assert document["finished"] is True
+    assert document["reclaimed_now"] == 0
+
+    merged = tmp_path / "merged"
+    status, document, _ = run_cli(
+        capsys, "fleet", "harvest", str(queue), "--out", str(merged),
+        "--store", str(merged / ".repro_store"), "--golden", str(golden))
+    assert status == 0
+    assert document["command"] == "fleet harvest"
+    assert document["identical_to_golden"] is True
+    assert document["store"]["absorbed"] > 0
+    for name in EXPERIMENTS:
+        assert (merged / f"{name}.json").is_file()
+
+    # The dashboard renders straight off the harvested bundle.
+    output = tmp_path / "report.html"
+    status, document, _ = run_cli(
+        capsys, "report", str(merged), "--output", str(output),
+        "--title", "smoke dashboard")
+    assert status == 0
+    assert document["command"] == "report"
+    assert document["experiments"] == 2
+    assert output.is_file()
+    assert "smoke dashboard" in output.read_text()
+
+
+def test_fleet_work_on_unplanned_directory_fails_cleanly(capsys, tmp_path):
+    status, _, err = run_cli(capsys, "fleet", "work",
+                             str(tmp_path / "nowhere"))
+    assert status == 2
+    assert "no queue.json" in err
+
+
+def test_report_on_empty_bundle_fails_cleanly(capsys, tmp_path):
+    status, _, err = run_cli(capsys, "report", str(tmp_path / "empty"))
+    assert status == 2
+    assert "no experiment results" in err
+
+
+def test_report_reads_named_bench_history(capsys, tmp_path):
+    out = tmp_path / "out"
+    status, _, _ = run_cli(capsys, "run", EXPERIMENTS[0],
+                           "--out", str(out))
+    assert status == 0
+    bench = tmp_path / "BENCH_perf.json"
+    bench.write_text(json.dumps({"script": "benchmarks/perf.py",
+                                 "studies": {}}))
+    status, document, _ = run_cli(
+        capsys, "report", str(out), "--bench", str(bench),
+        "--output", str(tmp_path / "report.html"))
+    assert status == 0
+    assert document["bench"]["perf"] == str(bench)
+    assert document["bench"]["serve"] is None

@@ -1,0 +1,356 @@
+"""The fleet subsystem: leases, crash recovery, poison shards, harvest.
+
+The queue's whole job is to stay correct when workers die without
+cleanup, so the tests here are failure-mode tests: expired leases are
+reclaimed with a forensic attempt record, a ``SIGKILL``-ed real worker
+process loses its shard to a survivor and the harvest is still
+bit-identical to an unsharded golden run, a poison shard exhausts its
+retry budget into a debuggable ``failed/`` tombstone instead of looping
+forever, and completion stays exclusive under double-commit races.
+"""
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_all
+from repro.fleet import (FleetWorker, LeaseQueue, QueueError, harvest,
+                         plan_queue, queue_status)
+from repro.fleet.queue import Lease
+
+#: A cheap experiment pair: one plain table, one with a Pareto front.
+EXPERIMENTS = ["table3_hevc_adders", "fft_joint_frontier"]
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+class FakeClock:
+    """Injectable time source: expiry tests without waiting out a TTL."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def fast_sleep(_delay: float) -> None:
+    """Backoff sleep for in-process workers: don't actually wait."""
+
+
+def plan(directory, shards=2, ttl_s=30.0, max_attempts=3, clock=None):
+    kwargs = {"clock": clock} if clock is not None else {}
+    return LeaseQueue.plan(directory, experiments=EXPERIMENTS,
+                           shards=shards, ttl_s=ttl_s,
+                           max_attempts=max_attempts, **kwargs)
+
+
+def noop_runner(task, config, store, output_dir, workers=1):
+    """A task runner that 'computes' instantly (queue-mechanics tests)."""
+    output_dir.mkdir(parents=True, exist_ok=True)
+    return {"rows": 0}
+
+
+# --------------------------------------------------------------------------- #
+# Planning
+# --------------------------------------------------------------------------- #
+class TestPlanning(object):
+    def test_plan_lays_out_tasks_and_config(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=3, ttl_s=12.0, max_attempts=2)
+        assert queue.task_ids() == [
+            "shard-000-of-003", "shard-001-of-003", "shard-002-of-003"]
+        config = LeaseQueue(tmp_path / "q").config  # re-read from disk
+        # The plan pins the selection in registry order, not given order.
+        assert sorted(config["experiments"]) == sorted(EXPERIMENTS)
+        assert config["shards"] == 3
+        assert config["ttl_s"] == 12.0
+        assert config["max_attempts"] == 2
+        task = json.loads(queue.task_path("shard-001-of-003").read_text())
+        assert task["shard"] == [1, 3]
+
+    def test_plan_twice_raises(self, tmp_path):
+        plan(tmp_path / "q")
+        with pytest.raises(QueueError, match="already holds"):
+            plan(tmp_path / "q")
+
+    def test_plan_validates_arguments(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            plan(tmp_path / "a", shards=0)
+        with pytest.raises(ValueError, match="ttl_s"):
+            plan(tmp_path / "b", ttl_s=0.0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            plan(tmp_path / "c", max_attempts=0)
+        with pytest.raises(ValueError, match="unknown experiments"):
+            LeaseQueue.plan(tmp_path / "d", experiments=["no_such_thing"])
+        # Nothing half-planned is left behind by a rejected plan.
+        assert not (tmp_path / "d" / "queue.json").exists()
+
+    def test_unplanned_directory_raises(self, tmp_path):
+        with pytest.raises(QueueError, match="no queue.json"):
+            LeaseQueue(tmp_path / "nowhere").config
+
+
+# --------------------------------------------------------------------------- #
+# Lease lifecycle
+# --------------------------------------------------------------------------- #
+class TestLeaseLifecycle(object):
+    def test_claim_complete_drain(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=2)
+        first = queue.claim("w1")
+        assert first is not None
+        assert first.path.is_file()
+        assert first.attempt == 1
+        assert first.complete(queue.output_dir(first.task_id, 1, "w1"),
+                              summary={"rows": 7}) is True
+        assert not first.path.exists()  # released with the commit
+        tombstone = json.loads(queue.done_path(first.task_id).read_text())
+        assert tombstone["owner"] == "w1"
+        assert tombstone["summary"] == {"rows": 7}
+
+        second = queue.claim("w1")
+        assert second is not None and second.task_id != first.task_id
+        assert second.complete(queue.output_dir(second.task_id, 1, "w1"))
+        assert queue.claim("w1") is None
+        assert queue.finished() is True
+        assert queue.outstanding() == []
+
+    def test_leased_task_is_not_claimable_by_others(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=1)
+        assert queue.claim("w1") is not None
+        assert queue.claim("w2") is None
+        assert queue.finished() is False
+
+    def test_double_completion_is_rejected(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=1)
+        lease = queue.claim("w1")
+        assert lease.complete(queue.output_dir(lease.task_id, 1, "w1"))
+        rival = Lease(queue, lease.task_id, "w2", attempt=2, ttl_s=30.0)
+        assert rival.complete(queue.output_dir(lease.task_id, 2, "w2")) \
+            is False
+        # The first commit's tombstone is untouched.
+        tombstone = json.loads(queue.done_path(lease.task_id).read_text())
+        assert tombstone["owner"] == "w1"
+        assert tombstone["attempt"] == 1
+
+    def test_heartbeat_refreshes_and_detects_loss(self, tmp_path):
+        clock = FakeClock()
+        queue = plan(tmp_path / "q", shards=1, ttl_s=10.0, clock=clock)
+        lease = queue.claim("w1")
+        clock.advance(8.0)
+        assert lease.heartbeat() is True  # refreshed before expiry
+        clock.advance(8.0)  # 8 s since the beat: still alive
+        assert queue.reclaim_expired() == 0
+        clock.advance(5.0)  # 13 s since the beat: expired
+        assert queue.reclaim_expired() == 1
+        assert lease.heartbeat() is False  # the lease is gone
+
+    def test_expired_lease_reclaim_files_attempt_record(self, tmp_path):
+        clock = FakeClock()
+        queue = plan(tmp_path / "q", shards=1, ttl_s=5.0, clock=clock)
+        assert queue.claim("dead-worker") is not None
+        clock.advance(6.0)
+        lease = queue.claim("survivor")  # reclaims on the way in
+        assert lease is not None
+        assert lease.owner == "survivor"
+        assert lease.attempt == 2
+        records = sorted((tmp_path / "q" / "attempts").glob("*.json"))
+        assert len(records) == 1
+        grave = json.loads(records[0].read_text())
+        assert grave["owner"] == "dead-worker"
+        assert grave["reason"] == "lease_expired"
+        status = queue.status()
+        assert status["reclaims"] == 1
+
+    def test_status_counters(self, tmp_path):
+        clock = FakeClock()
+        queue = plan(tmp_path / "q", shards=3, ttl_s=30.0, clock=clock)
+        lease = queue.claim("w1")
+        lease.complete(queue.output_dir(lease.task_id, 1, "w1"))
+        queue.claim("w2")
+        status = queue.status()
+        assert status["pending"] == 1
+        assert status["leased"] == 1
+        assert status["done"] == 1
+        assert status["failed"] == 0
+        assert status["finished"] is False
+        assert "w2" in status["workers"]
+        assert status["workers"]["w2"]["expired"] is False
+
+
+# --------------------------------------------------------------------------- #
+# Worker loop (in-process, injected runner/sleep)
+# --------------------------------------------------------------------------- #
+class TestFleetWorker(object):
+    def test_worker_drains_a_queue(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=3)
+        worker = FleetWorker(queue, owner="w1", runner=noop_runner,
+                             sleep=fast_sleep)
+        summary = worker.run()
+        assert summary["completed"] == 3
+        assert summary["failed_attempts"] == 0
+        assert summary["drained"] is True
+        assert [t["outcome"] for t in summary["tasks"]] == ["completed"] * 3
+        assert queue.finished() is True
+
+    def test_worker_gives_up_on_a_contended_queue(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=1, ttl_s=600.0)
+        assert queue.claim("someone-else") is not None
+        worker = FleetWorker(queue, owner="w1", runner=noop_runner,
+                             sleep=fast_sleep, poll_retries=2,
+                             poll_base_delay=0.0)
+        summary = worker.run()
+        assert summary["completed"] == 0
+        assert summary["drained"] is False
+
+    def test_max_tasks_caps_the_loop(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=3)
+        worker = FleetWorker(queue, owner="w1", runner=noop_runner,
+                             sleep=fast_sleep, max_tasks=2)
+        summary = worker.run()
+        assert summary["completed"] == 2
+        assert summary["drained"] is False
+
+    def test_poison_shard_exhausts_retries_into_failed_tombstone(
+            self, tmp_path):
+        def poison_runner(task, config, store, output_dir, workers=1):
+            if task["shard"][0] == 0:
+                raise RuntimeError("poison shard")
+            return noop_runner(task, config, store, output_dir, workers)
+
+        queue = plan(tmp_path / "q", shards=2, max_attempts=2)
+        worker = FleetWorker(queue, owner="w1", runner=poison_runner,
+                             sleep=fast_sleep, poll_base_delay=0.0)
+        summary = worker.run()
+        assert summary["completed"] == 1
+        assert summary["failed_attempts"] == 2  # the full retry budget
+        assert summary["drained"] is True  # every task is terminal
+        assert queue.failed_path("shard-000-of-002").is_file()
+
+        reports = queue.failure_reports()
+        assert set(reports) == {"shard-000-of-002"}
+        attempts = reports["shard-000-of-002"]["attempts"]
+        assert len(attempts) == 2
+        assert all("poison shard" in a["reason"] for a in attempts)
+
+        # Harvest refuses loudly and carries the forensic report.
+        document, status = harvest(tmp_path / "q")
+        assert status == 1
+        assert "exhausted" in document["error"]
+        assert document["failed_tasks"] == reports
+
+    def test_harvest_refuses_an_unfinished_queue(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=2)
+        lease = queue.claim("w1")
+        lease.complete(queue.output_dir(lease.task_id, 1, "w1"))
+        document, status = harvest(tmp_path / "q")
+        assert status == 1
+        assert document["outstanding"] == ["shard-000-of-002"] or \
+            document["outstanding"] == ["shard-001-of-002"]
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: real shards, golden bit-identity
+# --------------------------------------------------------------------------- #
+class TestHarvestIdentity(object):
+    def test_drain_and_harvest_matches_unsharded_golden(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "0")
+        golden = tmp_path / "golden"
+        run_all(output_dir=golden, reduced=True, experiments=EXPERIMENTS)
+
+        plan_queue(tmp_path / "q", experiments=EXPERIMENTS, shards=3)
+        summary = FleetWorker(tmp_path / "q", owner="w1",
+                              sleep=fast_sleep).run()
+        assert summary["completed"] == 3
+        assert summary["drained"] is True
+
+        merged = tmp_path / "merged"
+        document, status = harvest(
+            tmp_path / "q", output_dir=merged,
+            store=merged / ".repro_store", golden=golden)
+        assert status == 0
+        assert document["identical_to_golden"] is True
+        assert sorted(document["experiments"]) == sorted(EXPERIMENTS)
+        assert document["store"]["absorbed"] > 0
+        assert document["store"]["conflicts"] == 0
+        for name in EXPERIMENTS:
+            assert (merged / f"{name}.json").is_file()
+        # The folded store fully resumes an unsharded run.
+        resumed = run_all(store=merged / ".repro_store", reduced=True,
+                          experiments=[EXPERIMENTS[0]])
+        result = resumed.results[EXPERIMENTS[0]]
+        assert result.metadata["store_hits"] == len(result.rows)
+
+
+# --------------------------------------------------------------------------- #
+# Chaos: a real worker process SIGKILLed mid-lease
+# --------------------------------------------------------------------------- #
+class TestChaos(object):
+    def test_sigkilled_worker_is_reclaimed_and_harvest_is_identical(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "0")
+        golden = tmp_path / "golden"
+        run_all(output_dir=golden, reduced=True, experiments=EXPERIMENTS)
+
+        queue_dir = tmp_path / "q"
+        # A short TTL so the orphaned lease expires while the test waits.
+        plan_queue(queue_dir, experiments=EXPERIMENTS, shards=3, ttl_s=2.0)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", "fleet", "work", str(queue_dir),
+             "--owner", "victim"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            # SIGKILL the worker the moment it holds a lease: no cleanup
+            # handler runs, the lease is simply orphaned on disk.
+            leases = queue_dir / "leases"
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if victim.poll() is not None:
+                    pytest.fail("victim worker exited before being killed")
+                if leases.is_dir() and any(leases.glob("*.json")):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("victim worker never claimed a lease")
+            victim.kill()
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:  # pragma: no cover - cleanup
+                victim.kill()
+                victim.wait()
+        orphaned = sorted(p.stem for p in leases.glob("*.json"))
+
+        # A surviving worker (real clock: the 2 s TTL must actually lapse)
+        # reclaims the orphaned shard and drains the queue.
+        summary = FleetWorker(queue_dir, owner="survivor",
+                              poll_base_delay=0.2).run()
+        assert summary["drained"] is True
+        assert summary["completed"] >= 1
+
+        merged = tmp_path / "merged"
+        document, status = harvest(queue_dir, output_dir=merged,
+                                   store=merged / ".repro_store",
+                                   golden=golden)
+        assert status == 0
+        assert document["identical_to_golden"] is True
+        if orphaned:
+            # The victim's lease really was reclaimed, not completed.
+            final = queue_status(queue_dir, reclaim=False)
+            assert final["reclaims"] >= 1
+            grave = sorted(
+                (queue_dir / "attempts").glob(f"{orphaned[0]}.*.json"))
+            assert grave, "reclaim left no forensic attempt record"
+            record = json.loads(grave[0].read_text())
+            assert record["owner"] == "victim"

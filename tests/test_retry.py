@@ -1,0 +1,145 @@
+"""Backoff schedules and the retry loop shared by fleet and client."""
+import random
+
+import pytest
+
+from repro.core.retry import backoff_delays, retry_with_backoff
+
+
+class TestBackoffDelays(object):
+    def test_exact_schedule_without_jitter(self):
+        assert backoff_delays(4, 0.1, 0.0) == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_applies_before_jitter(self):
+        delays = backoff_delays(6, 1.0, 0.0, max_delay=4.0)
+        assert delays == [1.0, 2.0, 4.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_stays_in_band_and_is_seed_reproducible(self):
+        delays = backoff_delays(50, 0.1, 0.5, rng=random.Random(7))
+        for attempt, delay in enumerate(delays):
+            nominal = min(0.1 * 2.0 ** attempt, 30.0)
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+        assert delays == backoff_delays(50, 0.1, 0.5, rng=random.Random(7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            backoff_delays(-1, 0.1, 0.0)
+        with pytest.raises(ValueError, match="jitter"):
+            backoff_delays(3, 0.1, 1.5)
+        assert backoff_delays(0, 0.1, 0.0) == []
+
+
+class TestRetryWithBackoff(object):
+    def test_success_needs_no_sleep(self):
+        slept = []
+        assert retry_with_backoff(lambda: 42, retries=5,
+                                  sleep=slept.append) == 42
+        assert slept == []
+
+    def test_retries_then_succeeds_on_the_pinned_schedule(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "done"
+
+        result = retry_with_backoff(flaky, retries=5, base_delay=0.1,
+                                    jitter=0.0, retry_on=OSError,
+                                    sleep=slept.append)
+        assert result == "done"
+        assert len(calls) == 3
+        assert slept == [0.1, 0.2]
+
+    def test_exhaustion_raises_the_real_exception(self):
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise ConnectionError("still down")
+
+        with pytest.raises(ConnectionError, match="still down"):
+            retry_with_backoff(always_down, retries=3, base_delay=0.0,
+                               jitter=0.0, sleep=lambda _d: None)
+        assert len(calls) == 4  # retries + 1 attempts
+
+    def test_non_matching_exception_propagates_immediately(self):
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(wrong_kind, retries=5, retry_on=OSError,
+                               sleep=lambda _d: None)
+        assert len(calls) == 1
+
+    def test_zero_retries_is_a_single_attempt(self):
+        calls = []
+
+        def once():
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            retry_with_backoff(once, retries=0, sleep=lambda _d: None)
+        assert len(calls) == 1
+
+
+class TestClientQueryRetries(object):
+    """`client.query` retries the transport, not the envelope decode."""
+
+    def test_query_retries_transient_transport_failures(self, monkeypatch):
+        import json
+
+        from repro.server import client as client_module
+        from repro.server.client import ServerUnavailable, query
+
+        attempts = []
+
+        def flaky_post(request, url, timeout):
+            attempts.append(url)
+            if len(attempts) < 3:
+                raise ServerUnavailable("connection refused")
+            return json.dumps({"status": "ok",
+                               "result": {"pong": True}}).encode()
+
+        monkeypatch.setattr(client_module, "_post_once", flaky_post)
+        envelope = query("http://127.0.0.1:1", "ping", retries=3,
+                         retry_base_delay=0.0)
+        assert envelope["result"] == {"pong": True}
+        assert len(attempts) == 3
+
+    def test_query_exhausts_and_raises_server_unavailable(self, monkeypatch):
+        from repro.server import client as client_module
+        from repro.server.client import ServerUnavailable, query
+
+        attempts = []
+
+        def down(request, url, timeout):
+            attempts.append(url)
+            raise ServerUnavailable("connection refused")
+
+        monkeypatch.setattr(client_module, "_post_once", down)
+        with pytest.raises(ServerUnavailable):
+            query("http://127.0.0.1:1", "ping", retries=2,
+                  retry_base_delay=0.0)
+        assert len(attempts) == 3
+
+    def test_query_with_zero_retries_fails_fast(self, monkeypatch):
+        from repro.server import client as client_module
+        from repro.server.client import ServerUnavailable, query
+
+        attempts = []
+
+        def down(request, url, timeout):
+            attempts.append(url)
+            raise ServerUnavailable("connection refused")
+
+        monkeypatch.setattr(client_module, "_post_once", down)
+        with pytest.raises(ServerUnavailable):
+            query("http://127.0.0.1:1", "ping", retries=0)
+        assert len(attempts) == 1

@@ -272,3 +272,89 @@ class TestStoreStatsAndConcurrency(object):
         # No temporary files survive the concurrent writes.
         leftovers = [path for path in (tmp_path / "store").rglob("*.tmp")]
         assert leftovers == []
+
+
+class TestAbsorb(object):
+    """Fan-in for sharded and fleet runs: idempotent, conflict-counting."""
+
+    def _seed(self, directory, count, offset=0):
+        store = ResultStore(directory)
+        for index in range(count):
+            store.save("sweep", {"point": index + offset}, {"value": index})
+        return store
+
+    def test_absorb_copies_new_records_only(self, tmp_path):
+        source = self._seed(tmp_path / "source", 3)
+        target = ResultStore(tmp_path / "target")
+        assert target.absorb(source) == 3
+        assert target.entry_count("sweep") == 3
+        assert target.load("sweep", {"point": 1}) == {"value": 1}
+        # Re-absorbing the same source is idempotent: zero copied.
+        assert target.absorb(source) == 0
+        stats = target.stats()
+        assert stats["absorbed"] == 3
+        assert stats["conflicts"] == 0
+
+    def test_absorb_accepts_paths_and_missing_sources(self, tmp_path):
+        self._seed(tmp_path / "source", 2)
+        target = ResultStore(tmp_path / "target")
+        assert target.absorb(tmp_path / "source") == 2  # a path, not a store
+        assert target.absorb(tmp_path / "nowhere") == 0
+        assert target.absorb(None) == 0
+
+    def test_byte_different_record_counts_as_conflict(self, tmp_path):
+        source = self._seed(tmp_path / "source", 1)
+        target = ResultStore(tmp_path / "target")
+        # Same digest path, different bytes: the reclaimed-task signature.
+        path = source.path_for("sweep", {"point": 0})
+        clone = target.directory / "sweep" / path.name
+        clone.parent.mkdir(parents=True)
+        clone.write_text(path.read_text() + "\n")
+        assert target.absorb(source) == 0  # first copy wins
+        stats = target.stats()
+        assert stats["conflicts"] == 1
+        assert stats["absorbed"] == 0
+        assert clone.read_text().endswith("\n")  # untouched
+
+    def test_concurrent_overlapping_absorbs_are_idempotent(self, tmp_path):
+        import threading
+
+        sources = [self._seed(tmp_path / f"source{i}", 20) for i in range(4)]
+        target = ResultStore(tmp_path / "target")
+        errors = []
+
+        def absorb_all():
+            try:
+                for source in sources:
+                    target.absorb(source)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=absorb_all) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every source holds the same 20 records, absorbed exactly once.
+        assert target.entry_count("sweep") == 20
+        stats = target.stats()
+        assert stats["absorbed"] == 20
+        assert stats["conflicts"] == 0
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+
+class TestDurableWrites(object):
+    def test_fsync_path_produces_valid_records(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_FSYNC", raising=False)
+        store = ResultStore(tmp_path / "store")
+        store.save("sweep", {"point": 1}, {"value": 9})
+        assert store.load("sweep", {"point": 1}) == {"value": 9}
+
+    def test_fsync_opt_out_still_writes_atomically(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "0")
+        store = ResultStore(tmp_path / "store")
+        store.save("sweep", {"point": 2}, {"value": 10})
+        assert store.load("sweep", {"point": 2}) == {"value": 10}
+        assert list((tmp_path / "store").rglob("*.tmp")) == []
