@@ -1,6 +1,6 @@
 """``python -m repro`` — the reproduction's command-line front end.
 
-Eight subcommands wrap the experiment registry behind machine-readable JSON
+Nine subcommands wrap the experiment registry behind machine-readable JSON
 output (one document on stdout; progress and diagnostics go to stderr,
 which ``--quiet`` / ``REPRO_QUIET=1`` silences):
 
@@ -25,9 +25,17 @@ which ``--quiet`` / ``REPRO_QUIET=1`` silences):
   (:mod:`repro.report`) from a merged run directory plus the committed
   ``BENCH_*.json`` history.
 * ``serve`` — the long-lived evaluation server (:mod:`repro.server`):
-  warm caches, request batching, JSON-over-HTTP.
+  warm caches, request batching, JSON-over-HTTP, deadline-based load
+  shedding and a SIGTERM drain that finishes in-flight requests.
 * ``query`` — one protocol request against a running server, envelope on
   stdout (exit 0 only for an ``ok`` envelope).
+* ``store`` — result-store maintenance: ``scrub`` detects corrupt or
+  truncated records and quarantines them out of every future read path.
+
+``run``, ``fleet work`` and ``serve`` accept ``--fault-plan`` — a seeded
+fault-injection plan (:mod:`repro.faults`) that deterministically breaks
+the store/fleet/server I/O paths for chaos testing; the CI chaos matrix
+drives exactly these flags.
 
 The fan-out/fan-in CI workflow is literally ``run --shard i/n`` in an
 ``n``-way job matrix followed by one ``merge --golden`` job; the fleet
@@ -95,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "manifest.json under DIR")
     run.add_argument("--no-ablations", dest="ablations", action="store_false",
                      help="skip the extension ablation experiments")
+    run.add_argument("--fault-plan", metavar="PATH", default=None,
+                     help="activate a seeded fault-injection plan for this "
+                          "run (chaos testing; exported to spawned workers "
+                          "via REPRO_FAULT_PLAN)")
 
     merge = commands.add_parser(
         "merge", help="fold shard run directories into one result",
@@ -169,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="LRU cap on the process-wide LUT table cache "
                             "(default: REPRO_TABLE_CACHE_LIMIT or 128)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="request deadline for load shedding: a request "
+                            "that cannot get a compute slot within this "
+                            "long is refused with HTTP 503 + Retry-After "
+                            "(default: queue without bound)")
+    serve.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="activate a seeded fault-injection plan "
+                            "(chaos testing: dropped connections, slow "
+                            "handlers, injected 500s)")
 
     fleet = commands.add_parser(
         "fleet", help="coordinate many machines over a shared work queue",
@@ -244,6 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="SECONDS",
                             help="base delay of the jittered exponential "
                                  "poll backoff (default: %(default)s)")
+    fleet_work.add_argument("--poll-deadline", type=float, default=None,
+                            metavar="SECONDS",
+                            help="give up polling a busy queue once the "
+                                 "next backoff sleep would cross this "
+                                 "wall-time budget (default: attempts "
+                                 "bound only)")
+    fleet_work.add_argument("--fault-plan", metavar="PATH", default=None,
+                            help="activate a seeded fault-injection plan in "
+                                 "this worker (chaos testing: injected "
+                                 "crashes, heartbeat stalls, torn writes)")
 
     fleet_status = fleet_commands.add_parser(
         "status", help="report live queue progress counters",
@@ -324,6 +356,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="transport-failure retries with exponential "
                             "backoff before giving up; 0 fails on the "
                             "first connect error (default: %(default)s)")
+    query.add_argument("--retry-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="bound the whole retry loop in wall time: "
+                            "once the next backoff sleep would cross this "
+                            "budget, fail (or return the 503 envelope) "
+                            "immediately (default: retries bound only)")
+
+    store = commands.add_parser(
+        "store", help="inspect and repair a persistent result store",
+        description="Maintenance verbs for a --store directory; 'scrub' "
+                    "detects corrupt or truncated records (torn writes, "
+                    "bit rot, hand edits) and quarantines them so no "
+                    "future load or absorb ever reads them.")
+    store_commands = store.add_subparsers(dest="store_command",
+                                          metavar="VERB")
+    store_scrub = store_commands.add_parser(
+        "scrub", help="quarantine corrupt or truncated store records",
+        description="Validate every record file (JSON shape, store "
+                    "version, kind, content digest) and move the invalid "
+                    "ones into quarantine/ inside the store, preserving "
+                    "their relative paths for forensics; reports counts "
+                    "by corruption reason.")
+    store_scrub.add_argument("store", metavar="DIR",
+                             help="result store directory to scrub")
+    store_scrub.add_argument("--dry-run", action="store_true",
+                             help="detect and report only; move nothing")
     return parser
 
 
@@ -482,20 +540,34 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return 0
 
     if args.fleet_command == "work":
+        import signal
+
         from .fleet import FleetWorker
 
         worker = FleetWorker(args.queue, owner=args.owner,
                              workers=args.workers, max_tasks=args.max_tasks,
                              poll_retries=args.poll_retries,
-                             poll_base_delay=args.poll_delay)
+                             poll_base_delay=args.poll_delay,
+                             poll_deadline_s=args.poll_deadline)
         _log(f"worker {worker.owner!r} joining {args.queue}")
-        summary = worker.run()
+
+        def _on_term(signum: int, frame: object) -> None:
+            _log(f"worker {worker.owner!r}: SIGTERM — finishing the task "
+                 f"in flight, then draining")
+            worker.request_drain()
+
+        previous = signal.signal(signal.SIGTERM, _on_term)
+        try:
+            summary = worker.run()
+        finally:
+            signal.signal(signal.SIGTERM, previous)
         _log(f"worker {worker.owner!r}: {summary['completed']} task(s) "
              f"completed, drained={summary['drained']}")
         _emit({"command": "fleet work", **summary})
         reached_cap = (args.max_tasks is not None
                        and len(summary["tasks"]) >= args.max_tasks)
-        return 0 if summary["drained"] or reached_cap else 1
+        return 0 if (summary["drained"] or reached_cap
+                     or summary["drain_requested"]) else 1
 
     if args.fleet_command == "status":
         from .fleet import queue_status
@@ -533,23 +605,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .server import EvalServer
     from .server.dispatch import _status
 
     server = EvalServer(host=args.host, port=args.port, store=args.store,
                         backend=args.backend, workers=args.workers,
                         batch_window_s=args.batch_window,
-                        table_cache_limit=args.table_cache_limit)
+                        table_cache_limit=args.table_cache_limit,
+                        deadline_s=args.deadline)
     _log(f"serving on {server.url} (workers={args.workers}, "
          f"backend={args.backend!r}, store={args.store!r}); Ctrl-C to stop")
+
+    # SIGTERM = graceful drain: stop accepting, let in-flight requests
+    # finish.  The handler only spawns a thread — EvalServer.drain cannot
+    # run on serve_forever's own (this) thread, which shutdown() blocks.
+    drain: Dict[str, object] = {}
+
+    def _on_term(signum: int, frame: object) -> None:
+        if "thread" in drain:
+            return  # a second SIGTERM changes nothing
+        _log("SIGTERM: draining — refusing new connections, finishing "
+             "in-flight requests")
+        thread = threading.Thread(target=lambda: drain.update(
+            remaining=server.drain()), name="serve-drain", daemon=True)
+        drain["thread"] = thread
+        thread.start()
+
+    previous = signal.signal(signal.SIGTERM, _on_term)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         _log("interrupted; shutting down")
     finally:
+        thread = drain.get("thread")
+        if isinstance(thread, threading.Thread):
+            thread.join(timeout=30.0)
+        signal.signal(signal.SIGTERM, previous)
         final = _status(server.state, {})
         server.stop()
-    _emit({"command": "serve", "url": server.url, **final})
+    document = {"command": "serve", "url": server.url, **final}
+    if "thread" in drain:
+        document["drained"] = True
+        document["in_flight_at_close"] = drain.get("remaining")
+    _emit(document)
     return 0
 
 
@@ -577,7 +678,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     try:
         envelope = query(args.url, args.action,
                          params=_parse_query_params(args),
-                         timeout=args.timeout, retries=args.retries)
+                         timeout=args.timeout, retries=args.retries,
+                         retry_deadline_s=args.retry_deadline)
     except ServerUnavailable as error:
         _log(f"error: {error}")
         return 2
@@ -586,6 +688,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
         _log(f"error [{envelope.get('code')}]: {envelope.get('message')}")
         return 1
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command is None:
+        build_parser().parse_args(["store", "--help"])  # prints and exits
+        return 2  # pragma: no cover - parse_args exits above
+
+    if args.store_command == "scrub":
+        from .core.store import ResultStore
+
+        store = ResultStore(args.store)
+        document = store.scrub(quarantine=not args.dry_run)
+        document["dry_run"] = bool(args.dry_run)
+        _log(f"scrubbed {document['scanned']} record(s): "
+             f"{document['corrupt']} corrupt, "
+             f"{document['quarantined']} quarantined")
+        _emit({"command": "store scrub", **document})
+        return 0
+
+    raise ValueError(f"unknown store verb {args.store_command!r}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -599,9 +721,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {"run": _cmd_run, "merge": _cmd_merge,
                 "list": _cmd_list, "bench": _cmd_bench,
                 "fleet": _cmd_fleet, "report": _cmd_report,
-                "serve": _cmd_serve, "query": _cmd_query}
+                "serve": _cmd_serve, "query": _cmd_query,
+                "store": _cmd_store}
+    fault_plan = getattr(args, "fault_plan", None)
+    activated = False
     try:
+        if fault_plan:
+            from .faults import activate
+
+            injector = activate(fault_plan, export_env=True)
+            activated = True
+            _log(f"fault plan active: {fault_plan} "
+                 f"(seed {injector.plan.seed}, "
+                 f"{len(injector.plan.rules)} rule(s))")
         return handlers[args.command](args)
     except (ValueError, FileNotFoundError) as error:
         _log(f"error: {error}")
         return 2
+    finally:
+        if activated:
+            from .faults import deactivate
+
+            deactivate()

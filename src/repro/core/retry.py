@@ -52,7 +52,9 @@ def retry_with_backoff(fn: Callable[[], T], retries: int = 5,
                        retry_on: RetryOn = Exception,
                        max_delay: float = 30.0,
                        sleep: Callable[[float], None] = time.sleep,
-                       rng: Optional[random.Random] = None) -> T:
+                       rng: Optional[random.Random] = None,
+                       deadline_s: Optional[float] = None,
+                       clock: Callable[[], float] = time.monotonic) -> T:
     """Call ``fn`` until it returns, retrying ``retry_on`` with backoff.
 
     ``fn`` is attempted up to ``retries + 1`` times.  An exception matching
@@ -60,12 +62,23 @@ def retry_with_backoff(fn: Callable[[], T], retries: int = 5,
     and another attempt; any other exception — and the matching exception
     of the *last* attempt — propagates unchanged, so the caller sees the
     real failure, not a wrapper.
+
+    ``deadline_s`` bounds the retry loop in wall time as well as attempts:
+    once sleeping the next delay would land past the deadline (measured on
+    ``clock`` from the first attempt), the matching exception propagates
+    immediately instead — a caller with a deadline prefers a prompt real
+    failure over a sleep it cannot afford.  The attempt in flight is never
+    interrupted; only further sleeps are cut.
     """
     delays = backoff_delays(retries, base_delay, jitter,
                             max_delay=max_delay, rng=rng)
+    start = clock() if deadline_s is not None else 0.0
     for delay in delays:
         try:
             return fn()
         except retry_on:
+            if deadline_s is not None \
+                    and clock() - start + delay >= deadline_s:
+                raise
             sleep(delay)
     return fn()

@@ -35,11 +35,17 @@ import json
 import os
 import threading
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
+
+from ..faults.inject import maybe_fault
 
 #: Envelope schema version; bump when the on-disk layout changes.  Old
 #: records then fail validation and are recomputed (never misread).
 STORE_VERSION = 1
+
+#: Subdirectory :meth:`ResultStore.scrub` moves corrupt records into.
+#: Everything under it is invisible to loads, walks and absorbs.
+QUARANTINE_DIR = "quarantine"
 
 StoreLike = Union["ResultStore", str, Path, None]
 
@@ -178,8 +184,18 @@ class ResultStore:
         except TypeError:
             return None
         temporary = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
+        fault = maybe_fault("store.save")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            if fault is not None and fault.kind == "torn_write":
+                # Injected: a crash mid-write on a non-atomic filesystem
+                # leaves a prefix of the document under the final name.
+                # load() reads it as a miss; `store scrub` quarantines it.
+                keep = float(fault.params.get("keep_fraction", 0.5))
+                path.write_text(text[:max(0, int(len(text) * keep))])
+                return None
+            if fault is not None and fault.kind == "fsync_error":
+                raise OSError("injected fault: fsync failed")
             _write_durable(temporary, text)
             os.replace(temporary, path)
         except OSError:
@@ -222,13 +238,20 @@ class ResultStore:
         absorbed = 0
         conflicts = 0
         with self._lock:
-            for record in sorted(source.directory.rglob("*.json")):
+            for record in source._record_files():
                 relative = record.relative_to(source.directory)
                 target = self.directory / relative
                 try:
                     text = record.read_text()
                 except OSError:
                     continue
+                fault = maybe_fault("store.absorb")
+                if fault is not None and fault.kind == "corrupt":
+                    # Injected: the record is damaged in flight.  The
+                    # copy lands corrupt, reads as a miss (recomputed on
+                    # demand) and `store scrub` quarantines it.
+                    drop = int(fault.params.get("drop_bytes", 16))
+                    text = text[:-drop] if drop < len(text) else ""
                 if target.exists():
                     try:
                         if target.read_text() != text:
@@ -251,14 +274,96 @@ class ResultStore:
         return absorbed
 
     # ------------------------------------------------------------------ #
+    # Scrub
+    # ------------------------------------------------------------------ #
+    def _record_files(self, kind: Optional[str] = None) -> Iterator[Path]:
+        """Record files on disk, in sorted order, quarantine excluded."""
+        base = self.directory if kind is None else self.directory / kind
+        if not base.is_dir():
+            return
+        for record in sorted(base.rglob("*.json")):
+            relative = record.relative_to(self.directory)
+            if relative.parts and relative.parts[0] == QUARANTINE_DIR:
+                continue
+            yield record
+
+    def _validate_record(self, kind: str, path: Path) -> Optional[str]:
+        """Why the record at ``path`` is invalid, or ``None`` when sound.
+
+        The checks mirror :meth:`_load_validated` plus one it cannot do
+        without the lookup key: the filename must equal the digest of the
+        *embedded* canonical key, so a record renamed, truncated or
+        hand-edited under the wrong name is caught even though its body
+        parses.
+        """
+        try:
+            document = json.loads(path.read_text())
+        except OSError:
+            return "unreadable"
+        except ValueError:
+            return "invalid_json"
+        if not isinstance(document, dict):
+            return "not_an_object"
+        if document.get("store_version") != STORE_VERSION:
+            return "version_mismatch"
+        if document.get("kind") != kind:
+            return "kind_mismatch"
+        if not isinstance(document.get("payload"), dict):
+            return "bad_payload"
+        if key_digest(kind, document.get("key")) != path.stem:
+            return "digest_mismatch"
+        return None
+
+    def scrub(self, quarantine: bool = True) -> Dict[str, object]:
+        """Detect corrupt/truncated records; quarantine and report them.
+
+        Corruption was always a clean cache *miss* — this closes the
+        loop by finding those misses proactively: every record file is
+        validated, and invalid ones are moved (atomic ``os.replace``,
+        directory structure preserved) into ``quarantine/`` where no
+        load, walk or absorb will ever touch them again — so a torn
+        write can never be re-absorbed into a healthy store, and the
+        forensic bytes survive for inspection.  ``quarantine=False`` is
+        a dry run: count and classify, move nothing.  Returns the
+        ``repro store scrub`` JSON document.
+        """
+        scanned = valid = moved = 0
+        reasons: Dict[str, int] = {}
+        with self._lock:
+            for record in list(self._record_files()):
+                relative = record.relative_to(self.directory)
+                kind = relative.parts[0] if len(relative.parts) > 1 else ""
+                scanned += 1
+                reason = self._validate_record(kind, record)
+                if reason is None:
+                    valid += 1
+                    continue
+                reasons[reason] = reasons.get(reason, 0) + 1
+                if not quarantine:
+                    continue
+                target = self.directory / QUARANTINE_DIR / relative
+                try:
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(record, target)
+                    moved += 1
+                except OSError:
+                    continue
+        return {
+            "directory": str(self.directory),
+            "scanned": scanned,
+            "valid": valid,
+            "corrupt": sum(reasons.values()),
+            "quarantined": moved,
+            "reasons": dict(sorted(reasons.items())),
+            "quarantine_dir": str(self.directory / QUARANTINE_DIR),
+        }
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def entry_count(self, kind: Optional[str] = None) -> int:
         """Number of record files on disk (validity not checked)."""
-        base = self.directory if kind is None else self.directory / kind
-        if not base.is_dir():
-            return 0
-        return sum(1 for _ in base.rglob("*.json"))
+        return sum(1 for _ in self._record_files(kind))
 
     def stats(self) -> Dict[str, object]:
         """On-disk footprint plus this instance's in-process counters.
@@ -270,21 +375,28 @@ class ResultStore:
         ``conflicts`` its :meth:`absorb` outcomes (the numbers the fleet
         harvest reports).  Counters are per instance, not per directory:
         two stores opened on the same path count separately.
+        ``quarantined`` counts the record files parked under
+        ``quarantine/`` by :meth:`scrub`; they are excluded from
+        ``records`` / ``bytes`` like from every other walk.
         """
         records = 0
         size = 0
-        if self.directory.is_dir():
-            for record in self.directory.rglob("*.json"):
-                try:
-                    size += record.stat().st_size
-                except OSError:
-                    continue
-                records += 1
+        quarantined = 0
+        for record in self._record_files():
+            try:
+                size += record.stat().st_size
+            except OSError:
+                continue
+            records += 1
+        quarantine = self.directory / QUARANTINE_DIR
+        if quarantine.is_dir():
+            quarantined = sum(1 for _ in quarantine.rglob("*.json"))
         with self._lock:
             return {
                 "directory": str(self.directory),
                 "records": records,
                 "bytes": size,
+                "quarantined": quarantined,
                 "hits": self._hits,
                 "misses": self._misses,
                 "saves": self._saves,

@@ -1,0 +1,102 @@
+"""The injection runtime: one process-wide injector, zero-cost when off.
+
+Call sites consult :func:`maybe_fault` at their named fault point::
+
+    fault = maybe_fault("store.save")
+    if fault is not None and fault.kind == "torn_write":
+        ...act out the fault...
+
+With no plan active this is one global load and an ``is None`` check —
+unmeasurable next to the I/O the fault points guard, which is what lets
+the injection stay compiled into the production paths instead of living
+in test-only monkeypatches.
+
+Activation, in precedence order:
+
+* :func:`activate` with a :class:`~repro.faults.plan.FaultPlan` (or a
+  plan path) — what tests and the CLI ``--fault-plan`` flags call;
+* the ``REPRO_FAULT_PLAN`` environment variable naming a plan file,
+  checked once at import — which is how process-pool workers and
+  subprocesses spawned by a faulted run inherit the plan (the CLI flags
+  export it for exactly that reason).
+
+Deactivation (:func:`deactivate`) drops the injector; tests use the
+``try/finally`` or fixture shape so one test's chaos never leaks into
+the next.
+"""
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .plan import Fault, FaultInjector, FaultPlan
+
+#: Environment variable naming the active plan file.
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+#: The process-wide injector; ``None`` means injection is off.
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def fault_active() -> bool:
+    """Whether a fault plan is currently driving injection."""
+    return _ACTIVE is not None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The live injector (for schedule/stats introspection), or ``None``."""
+    return _ACTIVE
+
+
+def maybe_fault(point: str) -> Optional[Fault]:
+    """Consult ``point``; the fired fault, or ``None`` (the common case)."""
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.check(point)
+
+
+def activate(plan: Union[FaultPlan, str, Path],
+             export_env: bool = False) -> FaultInjector:
+    """Install ``plan`` (or the plan file at that path) process-wide.
+
+    ``export_env=True`` additionally writes ``REPRO_FAULT_PLAN`` so child
+    processes — sweep process pools, fleet worker subprocesses — pick the
+    same plan up at import; it requires the plan to have a file source.
+    Returns the injector (its :meth:`~FaultInjector.schedule` is the
+    chaos log).
+    """
+    global _ACTIVE
+    if not isinstance(plan, FaultPlan):
+        plan = FaultPlan.load(plan)
+    if export_env:
+        if plan.source is None:
+            raise ValueError("export_env needs a file-backed plan "
+                             "(load it from a path)")
+        os.environ[ENV_FAULT_PLAN] = plan.source
+    _ACTIVE = FaultInjector(plan)
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    """Drop the active injector (idempotent); clears the env export."""
+    global _ACTIVE
+    _ACTIVE = None
+    os.environ.pop(ENV_FAULT_PLAN, None)
+
+
+def activate_from_env() -> Optional[FaultInjector]:
+    """Activate from ``REPRO_FAULT_PLAN`` if set; the injector or ``None``.
+
+    Called once at import so spawned workers inherit the parent's plan;
+    callable again after the environment changes (tests).  A plan file
+    that does not validate raises — a chaos run that silently runs
+    unfaulted would report a vacuous pass.
+    """
+    path = os.environ.get(ENV_FAULT_PLAN)
+    if not path:
+        return None
+    return activate(path)
+
+
+activate_from_env()

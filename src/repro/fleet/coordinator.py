@@ -17,6 +17,7 @@ subcommand:
 """
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
@@ -132,9 +133,30 @@ def harvest(directory: Union[str, Path],
             "directory": str(merged_store.directory),
             "absorbed": stats["absorbed"],
             "conflicts": stats["conflicts"],
+            "quarantined": stats["quarantined"],
             "records": stats["records"],
         }
     document.update(merged.manifest())
+
+    # What the run survived: queue-level churn (reclaims of dead workers,
+    # worker-reported errors) plus store-level self-defence (absorb
+    # conflicts, quarantined corruption).  Written next to the merged
+    # artifacts so the dashboard can surface it; ``ResultBundle.load_dir``
+    # ignores it (no "experiment"/"columns" keys).
+    queue_counters = queue.status()
+    document["resilience"] = {
+        "reclaims": queue_counters["reclaims"],
+        "worker_errors": queue_counters["worker_errors"],
+        "conflicts": (document.get("store") or {}).get("conflicts", 0),
+        "quarantined": (document.get("store") or {}).get("quarantined", 0),
+    }
+    if output_dir is not None:
+        resilience_path = Path(output_dir) / "resilience.json"
+        try:
+            resilience_path.write_text(
+                json.dumps(document["resilience"], indent=2, sort_keys=True))
+        except OSError:
+            pass
 
     status = 0
     if golden is not None:

@@ -50,6 +50,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..faults.inject import maybe_fault
+
 #: queue.json schema version; bump when the on-disk layout changes.
 QUEUE_VERSION = 1
 
@@ -170,14 +172,19 @@ class Lease:
     # Terminal transitions
     # ------------------------------------------------------------------ #
     def complete(self, output: Union[str, Path],
-                 summary: Optional[Dict[str, object]] = None) -> bool:
+                 summary: Optional[Dict[str, object]] = None,
+                 cleanup: bool = True) -> bool:
         """Commit this attempt's output; False on a double completion.
 
         ``output`` is the artifact directory (relative paths are kept
         relative to the queue directory, so the queue moves wholesale).
         Exactly one completion per task ever succeeds; the tombstone
         records *which* attempt's output directory is canonical, and the
-        harvest reads only tombstoned directories.
+        harvest reads only tombstoned directories.  ``cleanup=False``
+        skips releasing the lease after the commit — how fault injection
+        simulates a worker dying *between* its commit and its cleanup;
+        the stale lease ages out via the TTL and the reclaim path must
+        cope with a task that is both leased and done.
         """
         output_path = Path(output)
         try:
@@ -194,7 +201,8 @@ class Lease:
         if summary:
             tombstone["summary"] = summary
         won = _exclusive_create(self.queue.done_path(self.task_id), tombstone)
-        self.release()
+        if cleanup:
+            self.release()
         return won
 
     def fail(self, reason: str) -> None:
@@ -394,18 +402,27 @@ class LeaseQueue:
 
     def _lease_expired(self, task_id: str,
                        lease: Optional[Dict[str, object]]) -> bool:
+        # Fault point: a skewed clock makes this checker see leases older
+        # (positive skew_s: premature reclaims of live leases) or younger
+        # (negative: expiry goes blind) than they are.  Correctness must
+        # not care — leases are advisory; done/ is the only commit point.
+        skew = 0.0
+        fault = maybe_fault("fleet.queue.expiry")
+        if fault is not None and fault.kind == "clock_skew":
+            skew = float(fault.params.get("skew_s", 0.0))
         if lease is None:
             # Unreadable lease: fall back to the file clock so a garbage
             # file cannot wedge the task forever.
             try:
-                age = self.clock() - self.lease_path(task_id).stat().st_mtime
+                age = self.clock() + skew \
+                    - self.lease_path(task_id).stat().st_mtime
             except OSError:
                 return False
             return age > float(self.config.get("ttl_s", 60.0))
         ttl = float(lease.get("ttl_s", self.config.get("ttl_s", 60.0)))
         beat = float(lease.get("heartbeat_at",
                                lease.get("acquired_at", 0.0)))
-        return (self.clock() - beat) > ttl
+        return (self.clock() + skew - beat) > ttl
 
     # ------------------------------------------------------------------ #
     # Claiming
@@ -463,6 +480,16 @@ class LeaseQueue:
         for task_id in self.task_ids():
             if self.done_path(task_id).exists() \
                     or self.failed_path(task_id).exists():
+                # A worker that died between its commit and its cleanup
+                # leaves a lease behind on a terminal task; sweep it once
+                # expired so the directory converges to the tombstones.
+                stale = self.lease_path(task_id)
+                if stale.exists() \
+                        and self._lease_expired(task_id, _read_json(stale)):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
                 continue
             lease_path = self.lease_path(task_id)
             if lease_path.exists():

@@ -29,11 +29,16 @@ from typing import Callable, Dict, Optional, Union
 
 from ..core.retry import retry_with_backoff
 from ..core.store import ResultStore
+from ..faults.inject import maybe_fault
 from .queue import Lease, LeaseQueue, default_owner
 
 
 class QueueBusy(Exception):
     """Nothing claimable right now, but tasks are still outstanding."""
+
+
+class _DrainRequested(Exception):
+    """The worker was asked to drain; stop polling immediately."""
 
 
 class _HeartbeatThread(threading.Thread):
@@ -57,6 +62,14 @@ class _HeartbeatThread(threading.Thread):
 
     def run(self) -> None:
         while not self._halt.wait(self.interval_s):
+            fault = maybe_fault("fleet.worker.heartbeat")
+            if fault is not None and fault.kind == "stall":
+                # A GC pause / NFS hiccup / suspended VM: the thread is
+                # alive but no beat lands for ``stall_s``.  If that
+                # overshoots the TTL the lease is fair game for reclaim.
+                self._halt.wait(float(fault.params.get("stall_s",
+                                                       self.interval_s * 4)))
+                continue
             if not self.lease.heartbeat():
                 self.lost = True
                 return
@@ -106,6 +119,7 @@ class FleetWorker:
                  max_tasks: Optional[int] = None,
                  poll_retries: int = 20, poll_base_delay: float = 0.25,
                  poll_jitter: float = 0.5,
+                 poll_deadline_s: Optional[float] = None,
                  runner: Optional[Callable[..., Dict[str, object]]] = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         self.queue = queue if isinstance(queue, LeaseQueue) \
@@ -116,13 +130,40 @@ class FleetWorker:
         self.poll_retries = int(poll_retries)
         self.poll_base_delay = float(poll_base_delay)
         self.poll_jitter = float(poll_jitter)
+        self.poll_deadline_s = poll_deadline_s
         self.runner = runner or _run_shard_task
         self.sleep = sleep
         self._rng = random.Random(self.owner)
+        self._drain = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Graceful drain
+    # ------------------------------------------------------------------ #
+    def request_drain(self) -> None:
+        """Ask the worker to stop after the task in flight (signal-safe).
+
+        Sets a flag only — the SIGTERM contract: a task mid-compute is
+        finished and committed (its work is not thrown away), a backoff
+        sleep is cut short, and no further lease is claimed.
+        """
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def _poll_sleep(self, delay: float) -> None:
+        """A backoff sleep that a drain request cuts short."""
+        if self.sleep is time.sleep:
+            self._drain.wait(delay)
+        else:
+            self.sleep(delay)  # injected fake clocks keep their semantics
 
     # ------------------------------------------------------------------ #
     def _claim_or_raise(self) -> Optional[Lease]:
         """One poll: a lease, ``None`` when finished, QueueBusy otherwise."""
+        if self._drain.is_set():
+            raise _DrainRequested(self.owner)
         lease = self.queue.claim(self.owner)
         if lease is not None:
             return lease
@@ -136,8 +177,8 @@ class FleetWorker:
         return retry_with_backoff(
             self._claim_or_raise, retries=self.poll_retries,
             base_delay=self.poll_base_delay, jitter=self.poll_jitter,
-            max_delay=10.0, retry_on=QueueBusy, sleep=self.sleep,
-            rng=self._rng)
+            max_delay=10.0, retry_on=QueueBusy, sleep=self._poll_sleep,
+            rng=self._rng, deadline_s=self.poll_deadline_s)
 
     def run_one(self, lease: Lease) -> Dict[str, object]:
         """Execute one leased shard and commit (or file) the attempt."""
@@ -159,6 +200,28 @@ class FleetWorker:
         heartbeat.stop()
         summary = dict(summary or {})
         summary["seconds"] = round(time.perf_counter() - started, 3)
+        fault = maybe_fault("fleet.worker.commit")
+        if fault is not None and fault.kind == "crash_before":
+            # Simulated SIGKILL between compute and commit: no tombstone,
+            # no release, no attempt report — the lease just goes silent
+            # and ages out, and a reclaiming worker redoes the shard.
+            # The artifacts in the attempt directory are orphaned exactly
+            # as a real dead worker's would be.
+            return {"task": lease.task_id, "outcome": "injected_crash",
+                    "crash": "before_commit", "attempt": lease.attempt,
+                    "heartbeats": heartbeat.beats,
+                    "lease_lost": heartbeat.lost}
+        if fault is not None and fault.kind == "crash_after":
+            # Simulated death between commit and cleanup: the tombstone
+            # lands (the task IS done) but the lease is left to expire —
+            # the coordinator's sweep must cope with leased-and-done.
+            committed = lease.complete(output_dir, summary=summary,
+                                       cleanup=False)
+            return {"task": lease.task_id, "outcome": "injected_crash",
+                    "crash": "after_commit", "committed": committed,
+                    "attempt": lease.attempt,
+                    "heartbeats": heartbeat.beats,
+                    "lease_lost": heartbeat.lost}
         committed = lease.complete(output_dir, summary=summary)
         return {"task": lease.task_id,
                 "outcome": "completed" if committed else "double_completion",
@@ -171,15 +234,22 @@ class FleetWorker:
         """Drain the queue; the worker's JSON exit summary."""
         started = time.perf_counter()
         tasks = []
-        completed = failures = double_completions = 0
+        completed = failures = double_completions = injected_crashes = 0
         drained = False
         while self.max_tasks is None or len(tasks) < self.max_tasks:
             try:
                 lease = self._next_lease()
             except QueueBusy:
                 break  # gave up waiting on other workers' live leases
+            except _DrainRequested:
+                break
             if lease is None:
                 drained = True
+                break
+            if self._drain.is_set():
+                # Drain won the race against the claim: hand the task
+                # straight back rather than start work we mean to abandon.
+                lease.release()
                 break
             outcome = self.run_one(lease)
             tasks.append(outcome)
@@ -187,8 +257,12 @@ class FleetWorker:
                 completed += 1
             elif outcome["outcome"] == "error":
                 failures += 1
+            elif outcome["outcome"] == "injected_crash":
+                injected_crashes += 1
             else:
                 double_completions += 1
+            if self._drain.is_set():
+                break  # the in-flight task was finished; stop here
         if not drained and self.queue.finished():
             drained = True
         return {
@@ -198,6 +272,8 @@ class FleetWorker:
             "completed": completed,
             "failed_attempts": failures,
             "double_completions": double_completions,
+            "injected_crashes": injected_crashes,
+            "drain_requested": self._drain.is_set(),
             "drained": drained,
             "seconds": round(time.perf_counter() - started, 3),
         }

@@ -14,7 +14,13 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from ..core.results import ResultBundle
-from .model import bench_model, dashboard_model, front_model, point_label
+from .model import (
+    bench_model,
+    dashboard_model,
+    front_model,
+    point_label,
+    resilience_model,
+)
 from .render import render_dashboard
 
 #: The bench history files the dashboard reads when none are named.
@@ -33,7 +39,8 @@ def generate_report(bundle_dir: Union[str, Path],
     if bench_paths is None:
         bench_paths = sorted(Path.cwd().glob(DEFAULT_BENCH_GLOB))
     model = dashboard_model(bundle, bench_paths, title=title,
-                            generated=generated)
+                            generated=generated,
+                            resilience=resilience_model(bundle_dir))
     text = render_dashboard(model)
     target = Path(output)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -51,6 +58,7 @@ def generate_report(bundle_dir: Union[str, Path],
             "serve": bench["serve"]["path"] if bench["serve"] else None,
             "skipped": bench["skipped"],
         },
+        "resilience": model["resilience"],
     }
 
 
@@ -62,4 +70,5 @@ __all__ = [
     "generate_report",
     "point_label",
     "render_dashboard",
+    "resilience_model",
 ]

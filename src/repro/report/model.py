@@ -21,6 +21,8 @@ Model shape::
             "cloud":  [{"cost", "quality", "label"}]}]},  # every row
       ],
       "bench": {"perf": {...}|None, "serve": {...}|None},
+      "resilience": {"reclaims", "worker_errors",
+                     "conflicts", "quarantined"}|None,
     }
 """
 from __future__ import annotations
@@ -113,10 +115,29 @@ def bench_model(paths: Sequence[Union[str, Path]]) -> Dict[str, object]:
     return {"perf": perf, "serve": serve, "skipped": skipped}
 
 
+def resilience_model(bundle_dir: Union[str, Path]
+                     ) -> Optional[Dict[str, object]]:
+    """The ``resilience.json`` a fleet harvest writes, or ``None``.
+
+    The counters of what a run survived — lease reclaims of dead
+    workers, worker-reported errors, store absorb conflicts, quarantined
+    records.  A plain (non-fleet) run directory has no such file and
+    the dashboard simply omits the section.
+    """
+    try:
+        document = json.loads(
+            (Path(bundle_dir) / "resilience.json").read_text())
+    except (OSError, ValueError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
 def dashboard_model(bundle: ResultBundle,
                     bench_paths: Sequence[Union[str, Path]] = (),
                     title: str = "repro results dashboard",
-                    generated: Optional[str] = None) -> Dict[str, object]:
+                    generated: Optional[str] = None,
+                    resilience: Optional[Dict[str, object]] = None
+                    ) -> Dict[str, object]:
     """Assemble the whole dashboard model from a merged bundle + history."""
     from .. import __version__
 
@@ -149,4 +170,5 @@ def dashboard_model(bundle: ResultBundle,
         },
         "experiments": experiments,
         "bench": bench_model(bench_paths),
+        "resilience": resilience,
     }

@@ -303,6 +303,16 @@ def render_dashboard(model: Dict[str, object]) -> str:
                 f"<td style='text-align:left'>"
                 f"{html.escape(str(experiment['description']))}</td></tr>")
         parts.append("</tbody></table>")
+    resilience = model.get("resilience")
+    if isinstance(resilience, dict):
+        parts.append("<h2>Resilience</h2>")
+        parts.append("<p class='legend'>what this run survived — from the "
+                     "fleet harvest's <code>resilience.json</code></p>")
+        parts.append(_tiles([
+            ("lease reclaims", resilience.get("reclaims", 0)),
+            ("worker errors", resilience.get("worker_errors", 0)),
+            ("absorb conflicts", resilience.get("conflicts", 0)),
+            ("quarantined records", resilience.get("quarantined", 0))]))
     parts.append("<h2>Backend performance trajectory</h2>")
     parts.append(_perf_section(model["bench"].get("perf")))
     parts.append("<h2>Evaluation-server trajectory</h2>")

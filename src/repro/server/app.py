@@ -23,14 +23,18 @@ process, on an ephemeral port.
 from __future__ import annotations
 
 import json
+import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from ..core.results import _jsonify
+from ..faults.inject import maybe_fault
 from .dispatch import ServerState, dispatch
 from .protocol import (
     ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
     error_envelope,
     http_status,
     parse_request,
@@ -48,6 +52,20 @@ class _RequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve"
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        fault = maybe_fault("server.handler")
+        if fault is not None:
+            if fault.kind == "drop":
+                # Close the connection without a response — the client
+                # sees a transport error, exactly like a mid-request
+                # network partition, and its retry loop takes over.
+                self.close_connection = True
+                return
+            if fault.kind == "delay":
+                time.sleep(float(fault.params.get("seconds", 0.1)))
+            elif fault.kind == "error":
+                self._respond(error_envelope(
+                    ERROR_INTERNAL, "injected fault: handler error"))
+                return
         if self.path.rstrip("/") not in ("", "/api"):
             self._respond(error_envelope(
                 ERROR_BAD_REQUEST,
@@ -84,6 +102,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(http_status(envelope))
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        retry_after = envelope.get("retry_after_s")
+        if isinstance(retry_after, (int, float)) \
+                and not isinstance(retry_after, bool):
+            # Whole seconds, rounded up: the header grammar wants an
+            # integer, and "come back a touch later" errs safe.
+            self.send_header("Retry-After",
+                             str(max(1, math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(payload)
 
@@ -101,7 +126,7 @@ class EvalServer:
     ``port=0`` binds an ephemeral port (read it back from :attr:`port`),
     which is how the in-process tests and the load bench run.  State
     parameters (``store``, ``backend``, ``workers``, ``batch_window_s``,
-    ``table_cache_limit``) construct a fresh
+    ``table_cache_limit``, ``deadline_s``) construct a fresh
     :class:`~repro.server.dispatch.ServerState` unless one is passed in.
     """
 
@@ -156,6 +181,33 @@ class EvalServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def drain(self, grace_s: float = 10.0) -> int:
+        """Graceful shutdown: stop accepting, finish in-flight requests.
+
+        The SIGTERM path of ``python -m repro serve``.  The listener is
+        shut down first (new connections are refused), then in-flight
+        requests get up to ``grace_s`` seconds to finish before the
+        socket closes.  Returns the number of requests still in flight
+        when the grace expired — ``0`` means a perfectly clean drain.
+        Safe to call from a signal-handler-spawned thread: it never runs
+        on the serve loop's own thread.
+        """
+        self._httpd.shutdown()
+        deadline = time.monotonic() + max(0.0, grace_s)
+        while time.monotonic() < deadline:
+            with self.state._lock:
+                remaining = self.state._in_flight
+            if remaining == 0:
+                break
+            time.sleep(0.05)
+        with self.state._lock:
+            remaining = self.state._in_flight
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return remaining
 
     def __enter__(self) -> "EvalServer":
         return self.start()

@@ -8,6 +8,13 @@ them with 4xx/5xx status codes, so the client digs the JSON body out of
 transport-level problems (connection refused, timeout, a non-JSON body)
 raise, as :class:`ServerUnavailable`.
 
+One error envelope gets special treatment: HTTP 503 (the server shedding
+load) is *retryable* — the request was refused, not answered — so the
+client backs off and tries again, flooring each backoff delay with the
+server's ``Retry-After`` header.  Only when retries are exhausted is the
+``overloaded`` envelope returned as the answer, so callers still see the
+protocol document rather than an exception.
+
 ``python -m repro query`` and ``benchmarks/serve_bench.py`` are both built
 on this function.
 """
@@ -15,6 +22,7 @@ from __future__ import annotations
 
 import json
 import random
+import time
 import urllib.error
 import urllib.request
 from typing import Dict, Optional
@@ -27,10 +35,25 @@ class ServerUnavailable(RuntimeError):
     """The server could not be reached or spoke something other than JSON."""
 
 
+class ServerOverloaded(ServerUnavailable):
+    """The server shed the request (HTTP 503); retry after backing off.
+
+    Carries the raw envelope ``body`` (the answer of last resort when
+    retries run out) and the parsed ``Retry-After`` hint in seconds.
+    """
+
+    def __init__(self, message: str, body: bytes,
+                 retry_after_s: Optional[float]) -> None:
+        super().__init__(message)
+        self.body = body
+        self.retry_after_s = retry_after_s
+
+
 def query(url: str, action: str,
           params: Optional[Dict[str, object]] = None,
           timeout: float = 30.0, retries: int = 2,
-          retry_base_delay: float = 0.1) -> Dict[str, object]:
+          retry_base_delay: float = 0.1,
+          retry_deadline_s: Optional[float] = None) -> Dict[str, object]:
     """POST one protocol request to ``url`` and return the envelope.
 
     ``url`` is the server base (``http://host:port``); the protocol
@@ -40,18 +63,52 @@ def query(url: str, action: str,
     during a server restart, a dropped socket — are retried ``retries``
     times with exponential backoff (:func:`repro.core.retry.retry_with_backoff`)
     before :class:`ServerUnavailable` propagates; ``retries=0`` restores
-    the old fail-on-first-error behaviour.  Protocol error envelopes are
-    *answers*, never retried.
+    the old fail-on-first-error behaviour.  An HTTP 503 (load shedding) is
+    retried the same way, with each backoff delay floored by the server's
+    ``Retry-After``; if retries run out the ``overloaded`` envelope is the
+    answer.  Other protocol error envelopes are *answers*, never retried.
+    ``retry_deadline_s`` bounds the whole retry loop in wall time: once
+    the next backoff sleep would cross it, the last failure propagates
+    (or, for a 503, its envelope is returned) immediately.
     """
     body = json.dumps({"action": action, "params": params or {}},
                       default=_jsonify).encode("utf-8")
     request = urllib.request.Request(
         url.rstrip("/") + "/", data=body,
         headers={"Content-Type": "application/json"}, method="POST")
-    payload = retry_with_backoff(
-        lambda: _post_once(request, url, timeout), retries=retries,
-        base_delay=retry_base_delay, jitter=0.25,
-        retry_on=ServerUnavailable, rng=random.Random())
+
+    start = time.monotonic()
+    pending: Dict[str, ServerOverloaded] = {}
+
+    def sleep_with_floor(delay: float) -> None:
+        overload = pending.pop("overload", None)
+        if overload is not None:
+            delay = max(delay, overload.retry_after_s or 0.0)
+            # The floor can push a sleep far past the caller's deadline
+            # in a way retry_with_backoff's own check (which sees only
+            # the nominal delay) cannot know about; refuse it here and
+            # let the 503 envelope be the answer.
+            if retry_deadline_s is not None \
+                    and time.monotonic() - start + delay >= retry_deadline_s:
+                raise overload
+        time.sleep(delay)
+
+    def attempt() -> bytes:
+        try:
+            return _post_once(request, url, timeout)
+        except ServerOverloaded as error:
+            pending["overload"] = error
+            raise
+
+    try:
+        payload = retry_with_backoff(
+            attempt, retries=retries,
+            base_delay=retry_base_delay, jitter=0.25,
+            retry_on=ServerUnavailable, rng=random.Random(),
+            sleep=sleep_with_floor, deadline_s=retry_deadline_s)
+    except ServerOverloaded as error:
+        # Out of retries (or time): the 503 envelope is the answer.
+        payload = error.body
     try:
         envelope = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as error:
@@ -64,6 +121,17 @@ def query(url: str, action: str,
     return envelope
 
 
+def _retry_after_seconds(error: "urllib.error.HTTPError") -> Optional[float]:
+    """The ``Retry-After`` header as seconds, or ``None`` (delta form only)."""
+    value = error.headers.get("Retry-After") if error.headers else None
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value.strip()))
+    except ValueError:
+        return None  # HTTP-date form: rarer than this client needs
+
+
 def _post_once(request: "urllib.request.Request", url: str,
                timeout: float) -> bytes:
     """One transport attempt: the raw response body, or ServerUnavailable."""
@@ -71,8 +139,14 @@ def _post_once(request: "urllib.request.Request", url: str,
         with urllib.request.urlopen(request, timeout=timeout) as response:
             return response.read()
     except urllib.error.HTTPError as error:
-        # 4xx/5xx transports an error envelope; the body is the answer.
-        return error.read()
+        body = error.read()
+        if error.code == 503:
+            raise ServerOverloaded(
+                f"the server at {url} is shedding load (HTTP 503)",
+                body=body,
+                retry_after_s=_retry_after_seconds(error)) from None
+        # Other 4xx/5xx transport an error envelope; the body is the answer.
+        return body
     except (urllib.error.URLError, OSError) as error:
         raise ServerUnavailable(
             f"no evaluation server answered at {url}: {error}") from None

@@ -28,10 +28,11 @@ Actions:
 """
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..core.backends import cache_stats, registered_backends, set_table_cache_limit
 from ..core.datapath import DatapathEnergyModel
@@ -54,6 +55,7 @@ from .batching import BatchQueue
 from .protocol import (
     ERROR_INTERNAL,
     ERROR_INVALID_PARAMS,
+    ERROR_OVERLOADED,
     ERROR_UNKNOWN_ACTION,
     ProtocolError,
     error_envelope,
@@ -92,12 +94,16 @@ class ServerState:
 
     def __init__(self, store: StoreLike = None, backend: str = "lut",
                  workers: int = 4, batch_window_s: float = 0.02,
-                 table_cache_limit: Optional[int] = None) -> None:
+                 table_cache_limit: Optional[int] = None,
+                 deadline_s: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError("the server needs at least one worker slot")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
         self.store = ResultStore.of(store)
         self.backend = str(backend)
         self.workers = int(workers)
+        self.deadline_s = deadline_s
         self.energy_model = _SharedEnergyModel(store=self.store)
         self.batcher = BatchQueue(window_s=batch_window_s)
         self.table_cache_limit = set_table_cache_limit(table_cache_limit)
@@ -107,6 +113,35 @@ class ServerState:
         self._requests: Dict[str, int] = {}
         self._errors: Dict[str, int] = {}
         self._in_flight = 0
+        self._shed = 0
+
+    @contextlib.contextmanager
+    def worker_slot(self) -> Iterator[None]:
+        """Hold one compute slot; shed load instead of queueing forever.
+
+        Without a ``deadline_s`` this is the original blocking semaphore.
+        With one, a request that cannot get a slot within the deadline is
+        *shed*: an ``overloaded`` :class:`ProtocolError` (HTTP 503) whose
+        ``retry_after_s`` tells the client when to come back — a bounded,
+        honest refusal instead of an unbounded queue of doomed requests.
+        """
+        if self.deadline_s is None:
+            with self._slots:
+                yield
+            return
+        if not self._slots.acquire(timeout=self.deadline_s):
+            with self._lock:
+                self._shed += 1
+            retry_after = round(max(self.deadline_s, 0.1), 3)
+            raise ProtocolError(
+                ERROR_OVERLOADED,
+                f"no worker slot freed within {self.deadline_s:g}s; "
+                f"retry after {retry_after:g}s",
+                extra={"retry_after_s": retry_after})
+        try:
+            yield
+        finally:
+            self._slots.release()
 
     # ------------------------------------------------------------------ #
     # Bookkeeping
@@ -128,6 +163,7 @@ class ServerState:
                 "requests": dict(sorted(self._requests.items())),
                 "errors": dict(sorted(self._errors.items())),
                 "in_flight": self._in_flight,
+                "shed": self._shed,
             }
 
 
@@ -258,7 +294,7 @@ def _evaluate(state: ServerState, params: Dict[str, object]
             # Only the batch leader computes, and only while holding a
             # worker slot — followers wait slot-free, so the worker cap
             # bounds concurrent sweeps without capping coalescing width.
-            with state._slots:
+            with state.worker_slot():
                 batched = _evaluate_study(state, params,
                                           [str(op) for op in operators])
                 return batched.run().rows
@@ -358,7 +394,7 @@ def _pareto(state: ServerState, params: Dict[str, object]
     if state.store is not None:
         study.store(state.store)
     started = time.perf_counter()
-    with state._slots:
+    with state.worker_slot():
         result = study.run()
     front = result.fronts[f"{quality}_vs_{cost}"]
     return {

@@ -33,6 +33,11 @@ ERROR_UNKNOWN_ACTION = "unknown_action"
 ERROR_INVALID_PARAMS = "invalid_params"
 #: The handler raised something unexpected; the server stays up.
 ERROR_INTERNAL = "internal_error"
+#: The server is shedding load: no worker slot freed within the request
+#: deadline.  The envelope carries ``retry_after_s`` and the transport
+#: adds a ``Retry-After`` header; well-behaved clients back off at least
+#: that long before retrying.
+ERROR_OVERLOADED = "overloaded"
 
 #: HTTP status used when transporting each error code (200 for ``ok``).
 HTTP_STATUS: Dict[str, int] = {
@@ -40,19 +45,28 @@ HTTP_STATUS: Dict[str, int] = {
     ERROR_INVALID_PARAMS: 400,
     ERROR_UNKNOWN_ACTION: 404,
     ERROR_INTERNAL: 500,
+    ERROR_OVERLOADED: 503,
 }
 
 
 class ProtocolError(Exception):
-    """A request that violates the protocol, carrying its stable code."""
+    """A request that violates the protocol, carrying its stable code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``extra`` fields are merged into the error envelope — how the
+    ``overloaded`` code carries ``retry_after_s`` to the client.
+    """
+
+    def __init__(self, code: str, message: str,
+                 extra: Optional[Dict[str, object]] = None) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.extra = dict(extra) if extra else {}
 
     def envelope(self, action: Optional[str] = None) -> Dict[str, object]:
-        return error_envelope(self.code, self.message, action=action)
+        document = error_envelope(self.code, self.message, action=action)
+        document.update(self.extra)
+        return document
 
 
 def ok_envelope(action: str, result: Dict[str, object]) -> Dict[str, object]:

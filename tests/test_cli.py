@@ -398,3 +398,69 @@ def test_report_reads_named_bench_history(capsys, tmp_path):
     assert status == 0
     assert document["bench"]["perf"] == str(bench)
     assert document["bench"]["serve"] is None
+
+
+# --------------------------------------------------------------------------- #
+# store scrub / fault plans
+# --------------------------------------------------------------------------- #
+def test_store_scrub_quarantines_and_reports(capsys, tmp_path):
+    from repro.core import ResultStore
+
+    store_dir = tmp_path / "store"
+    store = ResultStore(store_dir)
+    store.save("sweep", {"x": 1}, {"value": 1})
+    store.save("sweep", {"x": 2}, {"value": 2})
+    record = sorted((store_dir / "sweep").glob("*.json"))[0]
+    record.write_text(record.read_text()[:15])
+
+    status, document, _ = run_cli(
+        capsys, "store", "scrub", str(store_dir), "--dry-run")
+    assert status == 0
+    assert document["dry_run"] is True
+    assert document["corrupt"] == 1
+    assert document["quarantined"] == 0
+    assert record.exists()
+
+    status, document, _ = run_cli(capsys, "store", "scrub", str(store_dir))
+    assert status == 0
+    assert document["dry_run"] is False
+    assert document["quarantined"] == 1
+    assert not record.exists()
+    assert (store_dir / "quarantine" / "sweep" / record.name).exists()
+
+
+def test_fault_plan_activates_for_the_run_then_clears(
+        capsys, tmp_path, monkeypatch):
+    from repro.faults import fault_active
+    from repro.faults.inject import ENV_FAULT_PLAN
+
+    monkeypatch.setenv("REPRO_STORE_FSYNC", "0")
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps({
+        "seed": 5,
+        "rules": [{"point": "store.save", "kind": "torn_write",
+                   "nth": [2], "params": {"keep_fraction": 0.4}}]}))
+    status, document, err = run_cli(
+        capsys, "run", EXPERIMENTS[0], "--out", str(tmp_path / "out"),
+        "--store", str(tmp_path / "store"),
+        "--fault-plan", str(plan_path))
+    # The faulted run still succeeds — a torn record is a cache miss,
+    # never a failure — and the activation is logged then torn down.
+    assert status == 0
+    assert "fault plan active" in err
+    assert fault_active() is False
+    assert ENV_FAULT_PLAN not in __import__("os").environ
+    scrub_status, report, _ = run_cli(
+        capsys, "store", "scrub", str(tmp_path / "store"))
+    assert scrub_status == 0
+    assert report["corrupt"] == 1
+
+
+def test_invalid_fault_plan_fails_cleanly(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"rules": [
+        {"point": "nowhere", "kind": "nothing", "nth": [1]}]}))
+    status, _, err = run_cli(capsys, "run", EXPERIMENTS[0],
+                             "--fault-plan", str(bad))
+    assert status == 2
+    assert "unknown fault point" in err

@@ -354,3 +354,180 @@ class TestChaos(object):
             assert grave, "reclaim left no forensic attempt record"
             record = json.loads(grave[0].read_text())
             assert record["owner"] == "victim"
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic chaos: fault plans against the in-process fleet
+# --------------------------------------------------------------------------- #
+class TestFaultPlanChaos(object):
+    @pytest.fixture(autouse=True)
+    def no_leaked_injector(self):
+        from repro.faults import deactivate
+
+        deactivate()
+        yield
+        deactivate()
+
+    def test_crash_before_commit_harvest_is_bit_identical(
+            self, tmp_path, monkeypatch):
+        from repro.faults import FaultPlan, FaultRule, activate
+
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "0")
+        golden = tmp_path / "golden"
+        run_all(output_dir=golden, reduced=True, experiments=EXPERIMENTS)
+
+        clock = FakeClock()
+        queue = LeaseQueue.plan(tmp_path / "q", experiments=EXPERIMENTS,
+                                shards=3, ttl_s=30.0, max_attempts=3,
+                                clock=clock)
+        # The victim's first commit "crashes" the worker: no tombstone,
+        # no release — the lease is orphaned exactly like a SIGKILL.
+        activate(FaultPlan(seed=1, rules=(
+            FaultRule(point="fleet.worker.commit", kind="crash_before",
+                      nth=(1,)),)))
+        victim = FleetWorker(queue, owner="victim", sleep=fast_sleep,
+                             poll_retries=2, poll_base_delay=0.0)
+        summary = victim.run()
+        assert summary["injected_crashes"] == 1
+        assert summary["completed"] == 2
+        assert summary["drained"] is False  # one task still leased
+        crashed = [t for t in summary["tasks"]
+                   if t["outcome"] == "injected_crash"]
+        assert crashed[0]["crash"] == "before_commit"
+        orphan = crashed[0]["task"]
+        assert queue.lease_path(orphan).exists()
+
+        # TTL lapses (fake clock — no waiting); a survivor reclaims the
+        # orphaned shard and redoes it.
+        clock.advance(31.0)
+        survivor = FleetWorker(queue, owner="survivor", sleep=fast_sleep,
+                               poll_retries=2, poll_base_delay=0.0)
+        assert survivor.run()["completed"] == 1
+        assert queue.finished() is True
+        grave = sorted((queue.directory / "attempts").glob(
+            f"{orphan}.*.json"))
+        assert grave and json.loads(
+            grave[0].read_text())["owner"] == "victim"
+
+        merged = tmp_path / "merged"
+        document, status = harvest(queue.directory, output_dir=merged,
+                                   store=merged / ".repro_store",
+                                   golden=golden)
+        assert status == 0
+        assert document["identical_to_golden"] is True
+        assert document["resilience"]["reclaims"] >= 1
+        resilience = json.loads((merged / "resilience.json").read_text())
+        assert resilience == document["resilience"]
+
+    def test_crash_after_commit_leaves_a_done_task_with_a_stale_lease(
+            self, tmp_path):
+        from repro.faults import FaultPlan, FaultRule, activate
+
+        clock = FakeClock()
+        queue = LeaseQueue.plan(tmp_path / "q", experiments=EXPERIMENTS,
+                                shards=2, ttl_s=30.0, clock=clock)
+        activate(FaultPlan(seed=1, rules=(
+            FaultRule(point="fleet.worker.commit", kind="crash_after",
+                      nth=(1,)),)))
+        worker = FleetWorker(queue, owner="w1", runner=noop_runner,
+                             sleep=fast_sleep, poll_retries=2,
+                             poll_base_delay=0.0)
+        summary = worker.run()
+        crashed = [t for t in summary["tasks"]
+                   if t["outcome"] == "injected_crash"]
+        assert len(crashed) == 1
+        assert crashed[0]["crash"] == "after_commit"
+        assert crashed[0]["committed"] is True
+        task = crashed[0]["task"]
+        # The task IS done — the tombstone landed — but the dead
+        # worker's lease survived it.
+        assert queue.done_path(task).exists()
+        assert queue.lease_path(task).exists()
+        assert queue.finished() is True
+
+        # The sweep leaves a live stale lease alone until it expires...
+        assert queue.reclaim_expired() == 0
+        assert queue.lease_path(task).exists()
+        # ...then unlinks it with no forensic attempt record (the task
+        # finished; there is nothing to retry).
+        clock.advance(31.0)
+        queue.reclaim_expired()
+        assert not queue.lease_path(task).exists()
+        assert not list((queue.directory / "attempts").glob(
+            f"{task}.*.json"))
+
+    def test_clock_skew_makes_a_live_lease_reclaimable(self, tmp_path):
+        from repro.faults import FaultPlan, FaultRule, activate
+
+        queue = plan(tmp_path / "q", shards=1, ttl_s=600.0)
+        lease = queue.claim("w1")
+        assert lease is not None
+        # A skewed expiry checker sees the fresh lease as ancient.
+        activate(FaultPlan(seed=1, rules=(
+            FaultRule(point="fleet.queue.expiry", kind="clock_skew",
+                      probability=1.0, params={"skew_s": 3600.0}),)))
+        stolen = queue.claim("w2")
+        assert stolen is not None
+        assert stolen.task_id == lease.task_id
+        assert stolen.attempt == 2
+        # The premature reclaim filed the forensic record; completion
+        # stays exclusive regardless of who thinks they own the task.
+        grave = sorted((queue.directory / "attempts").glob(
+            f"{lease.task_id}.*.json"))
+        assert grave and json.loads(
+            grave[0].read_text())["owner"] == "w1"
+
+    def test_heartbeat_stall_skips_beats_without_dying(self, tmp_path):
+        from repro.faults import FaultPlan, FaultRule, activate
+        from repro.fleet.worker import _HeartbeatThread
+
+        queue = plan(tmp_path / "q", shards=1, ttl_s=0.4)
+        lease = queue.claim("w1")
+        activate(FaultPlan(seed=1, rules=(
+            FaultRule(point="fleet.worker.heartbeat", kind="stall",
+                      nth=(1,), params={"stall_s": 0.05}),)))
+        heartbeat = _HeartbeatThread(lease)
+        heartbeat.start()
+        time.sleep(0.5)
+        heartbeat.stop()
+        # The stalled beat landed nobody a refresh, later beats did; the
+        # thread survived the stall rather than treating it as a loss.
+        assert heartbeat.beats >= 1
+        assert heartbeat.lost is False
+
+
+# --------------------------------------------------------------------------- #
+# Graceful drain (the SIGTERM contract)
+# --------------------------------------------------------------------------- #
+class TestWorkerDrain(object):
+    def test_drain_before_the_loop_claims_nothing(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=2)
+        worker = FleetWorker(queue, owner="w1", runner=noop_runner,
+                             sleep=fast_sleep)
+        worker.request_drain()
+        summary = worker.run()
+        assert summary["drain_requested"] is True
+        assert summary["completed"] == 0
+        assert summary["tasks"] == []
+        assert not list((queue.directory / "leases").glob("*.json"))
+
+    def test_drain_mid_task_finishes_and_commits_it(self, tmp_path):
+        queue = plan(tmp_path / "q", shards=3)
+        worker_box = {}
+
+        def draining_runner(task, config, store, output_dir, workers=1):
+            worker_box["worker"].request_drain()
+            return noop_runner(task, config, store, output_dir, workers)
+
+        worker = FleetWorker(queue, owner="w1", runner=draining_runner,
+                             sleep=fast_sleep)
+        worker_box["worker"] = worker
+        summary = worker.run()
+        # The in-flight task was finished and committed — its work is
+        # never thrown away — and no further lease was claimed.
+        assert summary["completed"] == 1
+        assert summary["drain_requested"] is True
+        assert summary["drained"] is False
+        assert len(queue.outstanding()) == 2
+        assert not list((queue.directory / "leases").glob("*.json"))

@@ -118,3 +118,60 @@ class TestRender(object):
         bundle = ResultBundle.load_dir(bundle_dir)
         model = dashboard_model(bundle, generated="pinned")
         assert render_dashboard(model) == render_dashboard(model)
+
+
+class TestResilienceSection(object):
+    def test_resilience_model_reads_the_harvest_document(self, bundle_dir,
+                                                         tmp_path):
+        from repro.report.model import resilience_model
+
+        # A plain run directory has no resilience.json: the model is
+        # None and the dashboard omits the section entirely.
+        assert resilience_model(bundle_dir) is None
+        bundle = ResultBundle.load_dir(bundle_dir)
+        plain = render_dashboard(dashboard_model(bundle))
+        assert "Resilience" not in plain
+
+        counters = {"reclaims": 2, "worker_errors": 1, "conflicts": 0,
+                    "quarantined": 3}
+        import shutil
+
+        harvest_dir = tmp_path / "harvested"
+        shutil.copytree(bundle_dir, harvest_dir)
+        (harvest_dir / "resilience.json").write_text(json.dumps(counters))
+        assert resilience_model(harvest_dir) == counters
+
+        model = dashboard_model(ResultBundle.load_dir(harvest_dir),
+                                resilience=resilience_model(harvest_dir))
+        text = render_dashboard(model)
+        assert "Resilience" in text
+        assert "lease reclaims" in text
+        assert "quarantined records" in text
+
+    def test_generate_report_surfaces_the_counters(self, bundle_dir,
+                                                   tmp_path):
+        import shutil
+
+        harvest_dir = tmp_path / "harvested"
+        shutil.copytree(bundle_dir, harvest_dir)
+        counters = {"reclaims": 1, "worker_errors": 0, "conflicts": 0,
+                    "quarantined": 0}
+        (harvest_dir / "resilience.json").write_text(json.dumps(counters))
+        document = generate_report(harvest_dir,
+                                   output=tmp_path / "report.html",
+                                   generated="2026-01-01 00:00 UTC")
+        assert document["resilience"] == counters
+        assert "Resilience" in (tmp_path / "report.html").read_text()
+
+    def test_malformed_resilience_json_is_ignored(self, bundle_dir,
+                                                  tmp_path):
+        from repro.report.model import resilience_model
+
+        import shutil
+
+        harvest_dir = tmp_path / "harvested"
+        shutil.copytree(bundle_dir, harvest_dir)
+        (harvest_dir / "resilience.json").write_text("[1, 2]")
+        assert resilience_model(harvest_dir) is None
+        (harvest_dir / "resilience.json").write_text("{nope")
+        assert resilience_model(harvest_dir) is None

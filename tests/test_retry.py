@@ -143,3 +143,81 @@ class TestClientQueryRetries(object):
         with pytest.raises(ServerUnavailable):
             query("http://127.0.0.1:1", "ping", retries=0)
         assert len(attempts) == 1
+
+
+class TestRetryDeadline(object):
+    """`deadline_s` bounds the loop in wall time as well as attempts."""
+
+    def test_deadline_cuts_the_loop_before_a_too_long_sleep(self):
+        calls = []
+        slept = []
+        now = [0.0]
+
+        def ticking_sleep(delay):
+            slept.append(delay)
+            now[0] += delay
+
+        def always_down():
+            calls.append(1)
+            raise OSError("down")
+
+        # Schedule without a deadline: 1, 2, 4, 8...  With deadline_s=4
+        # the third attempt's 4 s sleep would land at t=7 >= 4: raise.
+        with pytest.raises(OSError):
+            retry_with_backoff(always_down, retries=10, base_delay=1.0,
+                               jitter=0.0, retry_on=OSError,
+                               sleep=ticking_sleep, deadline_s=4.0,
+                               clock=lambda: now[0])
+        assert len(calls) == 3
+        assert slept == [1.0, 2.0]
+
+    def test_deadline_never_interrupts_a_successful_attempt(self):
+        calls = []
+
+        def slow_then_fine():
+            calls.append(1)
+            if len(calls) < 2:
+                raise OSError("transient")
+            return "done"
+
+        # The deadline is generous enough for one short sleep.
+        assert retry_with_backoff(slow_then_fine, retries=5,
+                                  base_delay=0.0, jitter=0.0,
+                                  retry_on=OSError,
+                                  sleep=lambda _d: None,
+                                  deadline_s=60.0) == "done"
+
+    def test_no_deadline_keeps_the_attempt_count_contract(self):
+        calls = []
+
+        def always_down():
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            retry_with_backoff(always_down, retries=2, base_delay=0.0,
+                               jitter=0.0, sleep=lambda _d: None,
+                               deadline_s=None)
+        assert len(calls) == 3
+
+    def test_query_retry_deadline_bounds_the_503_loop(self, monkeypatch):
+        import json as json_module
+
+        from repro.server import client as client_module
+        from repro.server.client import ServerOverloaded, query
+
+        body = json_module.dumps({"status": "error", "code": "overloaded",
+                                  "message": "shed"}).encode()
+        attempts = []
+
+        def shedding(request, url, timeout):
+            attempts.append(url)
+            raise ServerOverloaded("shed", body=body, retry_after_s=120.0)
+
+        monkeypatch.setattr(client_module, "_post_once", shedding)
+        # Retry-After floors each sleep at 120 s; a 1 s deadline refuses
+        # the first sleep, so the 503 envelope comes back immediately.
+        envelope = query("http://127.0.0.1:1", "ping", retries=5,
+                         retry_base_delay=0.01, retry_deadline_s=1.0)
+        assert envelope["code"] == "overloaded"
+        assert len(attempts) == 1

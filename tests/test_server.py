@@ -387,3 +387,111 @@ class TestEvalServer:
         with EvalServer() as server:
             assert server.port > 0
             assert str(server.port) in server.url
+
+
+# --------------------------------------------------------------------------- #
+# Load shedding and graceful drain
+# --------------------------------------------------------------------------- #
+class TestLoadSheddingAndDrain:
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            ServerState(deadline_s=0)
+
+    def test_worker_slot_sheds_when_no_slot_frees_in_time(self):
+        from repro.server.protocol import ERROR_OVERLOADED
+
+        state = ServerState(workers=1, deadline_s=0.05)
+        assert state._slots.acquire(timeout=1)  # hog the only slot
+        try:
+            with pytest.raises(ProtocolError) as caught:
+                with state.worker_slot():
+                    pass  # pragma: no cover - never admitted
+            assert caught.value.code == ERROR_OVERLOADED
+            envelope = caught.value.envelope()
+            assert envelope["retry_after_s"] > 0
+            assert state.snapshot()["shed"] == 1
+        finally:
+            state._slots.release()
+        # With the slot free the same state admits work again.
+        with state.worker_slot():
+            pass
+        assert state.snapshot()["shed"] == 1
+
+    def test_http_503_retry_after_and_client_fallback(self, tmp_path):
+        from repro.server.protocol import ERROR_OVERLOADED
+
+        with EvalServer(batch_window_s=0.0, workers=1,
+                        deadline_s=0.05) as server:
+            assert server.state._slots.acquire(timeout=1)
+            try:
+                params = dict(WORKLOAD, adder="ADD(16)", energy=False)
+                body = json.dumps({"action": "evaluate",
+                                   "params": params}).encode()
+                request = urllib.request.Request(
+                    server.url + "/", data=body, method="POST")
+                with pytest.raises(urllib.error.HTTPError) as caught:
+                    urllib.request.urlopen(request, timeout=10)
+                assert caught.value.code == 503
+                assert int(caught.value.headers["Retry-After"]) >= 1
+                document = json.loads(caught.value.read())
+                assert document["code"] == ERROR_OVERLOADED
+
+                # The client retries, honours the floor until the retry
+                # deadline refuses it, then returns the envelope as the
+                # answer instead of raising.
+                envelope = query(server.url, "evaluate", params,
+                                 retries=1, retry_base_delay=0.01,
+                                 retry_deadline_s=0.3)
+                assert envelope["status"] == "error"
+                assert envelope["code"] == ERROR_OVERLOADED
+
+                # `status` does not need a compute slot: it still answers
+                # (that is what makes shedding observable).
+                status = query(server.url, "status")["result"]
+                assert status["shed"] >= 2
+            finally:
+                server.state._slots.release()
+
+            # Slot free again: the same request is served.
+            envelope = query(server.url, "evaluate", params,
+                             retries=2, retry_base_delay=0.05)
+            assert envelope["status"] == "ok"
+
+    def test_drain_finishes_in_flight_and_refuses_new(self):
+        from repro.server import ServerUnavailable
+
+        server = EvalServer(batch_window_s=0.0).start()
+        url = server.url
+        assert query(url, "status")["status"] == "ok"
+        remaining = server.drain(grace_s=5.0)
+        assert remaining == 0
+        with pytest.raises(ServerUnavailable):
+            query(url, "status", retries=0, timeout=2)
+        server.stop()  # idempotent after a drain
+
+    def test_drain_waits_for_a_slow_request(self):
+        import time as time_module
+
+        done = {}
+        state = ServerState(batch_window_s=0.0)
+        server = EvalServer(state=state).start()
+
+        def slow_query():
+            # A genuinely slow request: a cold evaluate pays LUT
+            # construction, holding the request in flight while the
+            # drain below runs.
+            done["envelope"] = query(
+                server.url, "evaluate",
+                dict(WORKLOAD, adder="ACA(16,4)", energy=False),
+                timeout=60)
+
+        worker = threading.Thread(target=slow_query)
+        worker.start()
+        waited = 0.0
+        while not state.snapshot()["in_flight"] and waited < 5.0:
+            time_module.sleep(0.005)
+            waited += 0.005
+        remaining = server.drain(grace_s=30.0)
+        worker.join(timeout=30)
+        assert remaining == 0
+        assert done["envelope"]["status"] == "ok"

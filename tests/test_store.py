@@ -358,3 +358,81 @@ class TestDurableWrites(object):
         store.save("sweep", {"point": 2}, {"value": 10})
         assert store.load("sweep", {"point": 2}) == {"value": 10}
         assert list((tmp_path / "store").rglob("*.tmp")) == []
+
+
+class TestScrub(object):
+    """`scrub()` finds what load() only tolerates: corrupt records."""
+
+    def seeded(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.save("sweep", {"x": 1}, {"value": 1})
+        store.save("sweep", {"x": 2}, {"value": 2})
+        store.save("hardware", {"op": "ADD(16)"}, {"pdp_pj": 1.0})
+        return store
+
+    def test_clean_store_scrubs_clean(self, tmp_path):
+        report = self.seeded(tmp_path).scrub()
+        assert report["scanned"] == 3
+        assert report["valid"] == 3
+        assert report["corrupt"] == report["quarantined"] == 0
+        assert report["reasons"] == {}
+
+    def test_reasons_classify_each_corruption(self, tmp_path):
+        store = self.seeded(tmp_path)
+        records = sorted(store._record_files("sweep"))
+        # Truncate one record, garbage another, misfile a third.
+        records[0].write_text(records[0].read_text()[:20])
+        records[1].write_text('"not an object"')
+        stray = store.directory / "sweep" / ("0" * 64 + ".json")
+        stray.write_text(json.dumps({
+            "store_version": STORE_VERSION, "kind": "sweep",
+            "key": {"x": 3}, "payload": {"value": 3}}))
+        report = store.scrub()
+        assert report["scanned"] == 4
+        assert report["valid"] == 1
+        assert report["corrupt"] == 3
+        assert report["reasons"]["invalid_json"] == 1
+        assert report["reasons"]["not_an_object"] == 1
+        assert report["reasons"]["digest_mismatch"] == 1
+
+    def test_dry_run_moves_nothing(self, tmp_path):
+        store = self.seeded(tmp_path)
+        record = next(iter(store._record_files("sweep")))
+        record.write_text("{torn")
+        report = store.scrub(quarantine=False)
+        assert report["corrupt"] == 1
+        assert report["quarantined"] == 0
+        assert record.exists()
+        assert store.entry_count() == 3
+
+    def test_quarantined_records_leave_every_walk(self, tmp_path):
+        store = self.seeded(tmp_path)
+        record = next(iter(store._record_files("sweep")))
+        record.write_text("{torn")
+        store.scrub()
+        assert not record.exists()
+        assert store.entry_count() == 2
+        assert store.stats()["records"] == 2
+        assert store.stats()["quarantined"] == 1
+        # The forensic bytes survive, structure preserved.
+        moved = store.directory / "quarantine" / "sweep" / record.name
+        assert moved.read_text() == "{torn"
+        # absorb() never copies a quarantined record onward.
+        other = ResultStore(tmp_path / "other")
+        other.absorb(store)
+        assert other.entry_count() == 2
+        assert other.scrub()["corrupt"] == 0
+
+    def test_version_and_kind_mismatches_are_corrupt(self, tmp_path):
+        store = self.seeded(tmp_path)
+        records = sorted(store._record_files("sweep"))
+        old = json.loads(records[0].read_text())
+        old["store_version"] = STORE_VERSION - 1
+        records[0].write_text(json.dumps(old))
+        misfiled = json.loads(records[1].read_text())
+        misfiled["kind"] = "hardware"
+        records[1].write_text(json.dumps(misfiled))
+        report = store.scrub(quarantine=False)
+        assert report["reasons"]["version_mismatch"] == 1
+        # A rewritten kind changes the digest the key should map to.
+        assert report["corrupt"] == 2
