@@ -52,7 +52,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from .core.backends import backend_spec, registered_backends
+from .core.backends import backend_spec, describe_backends, registered_backends
 from .core.study import parse_shard, resolve_workers
 
 PROG = "python -m repro"
@@ -478,6 +478,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
              "ablation": EXPERIMENTS[name].ablation}
             for name in names
         ],
+        "backends": describe_backends(),
     })
     return 0
 
@@ -511,6 +512,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "experiment": args.experiment,
         "reduced": args.reduced,
         "available_backends": sorted(registered_backends()),
+        "backend_details": describe_backends(),
         "backends": runs,
         "identical_records": identical,
     }

@@ -2,7 +2,7 @@
 
 Application kernels never call :meth:`Operator.aligned` directly any more —
 they go through an :class:`~repro.core.context.ApproxContext`, which hands
-every addition and multiplication to an :class:`ExecutionBackend`.  Two
+every addition and multiplication to an :class:`ExecutionBackend`.  Three
 backends ship with the framework:
 
 * ``"direct"`` — :class:`DirectBackend`, the bit-exact reference: each call
@@ -14,6 +14,20 @@ backends ship with the framework:
   fancy-index gathers.  Results are bit-identical to ``"direct"`` — when no
   table strategy applies to a call, it transparently falls back to the
   functional model.
+* ``"compiled"`` — :class:`CompiledBackend`, the ahead-of-time tier: per
+  operator family a *compiled kernel* (``repro.core.kernels``; numba
+  ``@njit`` when numba is importable, closed-form vectorised int arithmetic
+  otherwise) replaces the bit-serial partial-product loops, and wide
+  ``bank=True`` calls gather from one dense stacked per-bank table built in
+  a single kernel pass.  Also bit-identical to ``"direct"`` for every
+  operator and stimulus.
+
+All eagerly-built tables (sum, pair, bank stacks) and the per-constant
+value tables are allocated through the cross-process shared-memory arena
+(``repro.core.table_arena``) when it is enabled: the first process on the
+machine builds a table, every later process — worker pools, shard runs,
+fleet workers, the server — attaches to the very same memory instead of
+rebuilding from cold.  ``REPRO_TABLE_ARENA=0`` opts out.
 
 The LUT backend picks the cheapest applicable table per call:
 
@@ -69,6 +83,8 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..operators.base import Operator
+from . import table_arena
+from .kernels import Kernel, compiled_stats, get_kernel
 from .registry import parse_spec
 
 
@@ -239,14 +255,28 @@ _MAX_PENDING_KEYS = 4096
 _VALUE_TABLE_INDEX: Dict[Tuple[str, str], int] = {}
 
 
-def clear_table_cache() -> None:
-    """Drop every cached LUT table (mainly for tests and benchmarks)."""
+def clear_table_cache(purge_arena: bool = True) -> None:
+    """Drop every cached LUT table (mainly for tests and benchmarks).
+
+    By default this also unlinks the shared-memory arena segments backing
+    the tables, so a clear means a genuinely cold rebuild — without it, an
+    "evicted" table would silently warm-attach to its old arena content,
+    which is exactly what tests and cold-path benchmarks call this function
+    to avoid.  ``purge_arena=False`` keeps the segments alive and merely
+    detaches from them, leaving the next table request on the arena attach
+    path — the knob the table-build benchmark uses to time cold build
+    against warm attach.
+    """
     global _CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS
     with _CACHE_LOCK:
         _TABLE_CACHE.clear()
         _PENDING_VALUE_KEYS.clear()
         _VALUE_TABLE_INDEX.clear()
         _CACHE_HITS = _CACHE_MISSES = _CACHE_EVICTIONS = 0
+    if purge_arena:
+        table_arena.purge(force=True)
+    else:
+        table_arena.detach_all()
 
 
 def table_cache_limit() -> int:
@@ -279,20 +309,24 @@ def set_table_cache_limit(limit: Optional[int] = None) -> int:
     return limit
 
 
-def cache_stats() -> Dict[str, int]:
-    """Introspection hook: size, cap and hit/miss/eviction counters.
+def cache_stats() -> Dict[str, object]:
+    """Introspection hook: size, cap, hit/miss/eviction counters and the
+    arena / compiled-tier sub-sections.
 
     Counters are process-wide and reset by :func:`clear_table_cache`; the
     evaluation server's ``status`` action reports this dictionary verbatim.
     """
     with _CACHE_LOCK:
-        return {
+        stats: Dict[str, object] = {
             "tables": len(_TABLE_CACHE),
             "limit": _MAX_CACHED_TABLES,
             "hits": _CACHE_HITS,
             "misses": _CACHE_MISSES,
             "evictions": _CACHE_EVICTIONS,
         }
+    stats["arena"] = table_arena.arena_stats()
+    stats["compiled"] = compiled_stats()
+    return stats
 
 
 def _index_value_key(key: Tuple[object, ...], delta: int) -> None:
@@ -395,6 +429,70 @@ def _cache_insert(key: Tuple[object, ...], value: object) -> object:
     return value
 
 
+# --------------------------------------------------------------------------- #
+# Shared table builders (used by both the LUT and the compiled tier)
+# --------------------------------------------------------------------------- #
+def _sum_table(operator: Operator) -> np.ndarray:
+    """Eager 1-D sum table over one ``2**N`` period, arena-backed.
+
+    Valid exactly because the operator is :attr:`Operator.sum_addressable`:
+    ``compute(a, b)`` is a pure function of ``wrap(a + b)``, so
+    ``compute(s, 0)`` tabulates residue ``s``.
+    """
+    key = ("sum", operator.family, operator.name)
+    table = _cache_get(key)
+    if table is None:
+        span = 1 << operator.input_width
+
+        def build(arrays: List[np.ndarray]) -> None:
+            period = np.arange(span, dtype=np.int64)
+            arrays[0][...] = np.asarray(
+                operator.aligned(period, np.int64(0)), dtype=np.int64)
+
+        arrays, _mode = table_arena.get_or_build(
+            key, [((span,), np.int64)], build)
+        table = _cache_insert(key, arrays[0])
+    return table
+
+
+def _pair_table(operator: Operator,
+                evaluate: Optional[Callable] = None) -> np.ndarray:
+    """Eager full truth table, flattened row-major over (a, b), arena-backed.
+
+    ``evaluate`` lets the compiled tier build the table through its kernel
+    (a handful of vector passes) instead of the bit-serial model.
+    """
+    key = ("pair", operator.family, operator.name)
+    table = _cache_get(key)
+    if table is None:
+        lo, hi = operator.input_range()
+        span = hi - lo + 1
+
+        def build(arrays: List[np.ndarray]) -> None:
+            all_a, all_b = operator.exhaustive_inputs()
+            model = evaluate if evaluate is not None else operator.aligned
+            arrays[0][...] = np.asarray(
+                model(all_a, all_b), dtype=np.int64).reshape(-1)
+
+        arrays, _mode = table_arena.get_or_build(
+            key, [((span * span,), np.int64)], build)
+        table = _cache_insert(key, arrays[0])
+    return table
+
+
+def _value_entry(key: Tuple[object, ...], span: int) -> Tuple:
+    """Open (or attach to) a lazily-filled value-table entry for ``key``.
+
+    The value array and its ``filled`` bitmap live in the arena, so a table
+    one process fills is already (partially) warm in the next; the
+    miss-event counter stays process-local — it only steers this process's
+    chunked-fill heuristic.
+    """
+    arrays, _mode = table_arena.get_or_build(
+        key, [((span,), np.int64), ((span,), np.bool_)])
+    return _cache_insert(key, (arrays[0], arrays[1], [0]))
+
+
 class LutBackend(ExecutionBackend):
     """Vectorised lookup-table backend, bit-identical to ``"direct"``.
 
@@ -484,16 +582,7 @@ class LutBackend(ExecutionBackend):
         table over a single period plus modular indexing covers every int64
         operand sum with no bounds checks at all.
         """
-        key = ("sum", operator.family, operator.name)
-        table = _cache_get(key)
-        if table is None:
-            period = np.arange(1 << operator.input_width, dtype=np.int64)
-            # Valid exactly because sum_addressable: compute(a, b) is a pure
-            # function of wrap(a + b), so compute(s, 0) tabulates residue s.
-            table = _cache_insert(
-                key, np.asarray(operator.aligned(period, np.int64(0)),
-                                dtype=np.int64))
-        return np.take(table, a + b, mode="wrap")
+        return np.take(_sum_table(operator), a + b, mode="wrap")
 
     def _pair_lookup(self, operator: Operator, a: np.ndarray,
                      b: np.ndarray, in_range: bool = False
@@ -504,12 +593,7 @@ class LutBackend(ExecutionBackend):
             for operand in (a, b):
                 if operand.size and _scan_out_of_range(operand, lo, hi):
                     return None
-        key = ("pair", operator.family, operator.name)
-        table = _cache_get(key)
-        if table is None:
-            all_a, all_b = operator.exhaustive_inputs()
-            table = _cache_insert(
-                key, np.asarray(operator.aligned(all_a, all_b), dtype=np.int64))
+        table = _pair_table(operator)
         span = hi - lo + 1
         # Two-dimensional indexing bounds-checks each operand separately, so
         # a positive off-grid operand under a wrong in_range claim raises
@@ -550,9 +634,7 @@ class LutBackend(ExecutionBackend):
                 return None
             with _CACHE_LOCK:
                 _PENDING_VALUE_KEYS.discard(key)
-            entry = _cache_insert(
-                key, (np.zeros(hi - lo + 1, dtype=np.int64),
-                      np.zeros(hi - lo + 1, dtype=bool), [0]))
+            entry = _value_entry(key, hi - lo + 1)
         table, filled, miss_events = entry
         index = values - lo
         try:
@@ -686,6 +768,248 @@ class LutBackend(ExecutionBackend):
 
 
 # --------------------------------------------------------------------------- #
+# Compiled backend
+# --------------------------------------------------------------------------- #
+class CompiledBackend(ExecutionBackend):
+    """Ahead-of-time tier: compiled kernels plus dense stacked bank tables.
+
+    Per operator family, ``repro.core.kernels`` provides a *kernel* — numba
+    ``@njit`` when numba is importable, a closed-form vectorised
+    shift/mask formulation otherwise — that reproduces
+    :meth:`Operator.aligned` bit-for-bit while collapsing the bit-serial
+    partial-product loops into a handful of batched passes.  Dispatch per
+    call, cheapest strategy first:
+
+    1. **Sum tables** for sum-addressable operators (shared with the LUT
+       tier — the arena means at most one process ever builds one).
+    2. **Pair tables** for small operators, built *through the kernel* (a
+       few vector passes instead of the bit-serial model).
+    3. **Stacked bank tables** for ``bank=True`` calls: one dense
+       ``(constants, span)`` table per recurring bank, built in a single
+       broadcast kernel call and served as one flat gather — no per-constant
+       grouping, sorting or Python looping at serve time.
+    4. **Per-constant value tables** (shared with the LUT tier) for scalar
+       constants, filled eagerly through the kernel.
+    5. **The kernel itself** for everything else — including out-of-range
+       stimulus, where every kernel except BOOTH's is still bit-exact.
+    6. The functional model for operator families without a kernel.
+
+    Results are bit-identical to :class:`DirectBackend` for every operator
+    and stimulus; the constructor parameters mirror :class:`LutBackend`.
+    """
+
+    name = "compiled"
+
+    def __init__(self, max_pair_width: int = 10,
+                 max_value_width: int = 16,
+                 min_value_size: int = 256,
+                 max_bank_constants: int = 128,
+                 max_bank_table_bytes: int = 64 << 20) -> None:
+        if max_pair_width < 2:
+            raise ValueError("max_pair_width must be at least 2")
+        if max_value_width < 2:
+            raise ValueError("max_value_width must be at least 2")
+        if max_bank_constants < 1:
+            raise ValueError("max_bank_constants must be at least 1")
+        self.max_pair_width = int(max_pair_width)
+        self.max_value_width = int(max_value_width)
+        self.min_value_size = int(min_value_size)
+        self.max_bank_constants = int(max_bank_constants)
+        self.max_bank_table_bytes = int(max_bank_table_bytes)
+        self._kernels: Dict[str, Optional[Kernel]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def execute(self, operator: Operator, a: np.ndarray,
+                b: np.ndarray, bank: bool = False,
+                in_range: bool = False) -> np.ndarray:
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        if a_arr.ndim == 0 and b_arr.ndim == 0:
+            return np.asarray(operator.aligned(a_arr, b_arr), dtype=np.int64)
+        if operator.sum_addressable \
+                and operator.input_width <= self.max_value_width:
+            return np.take(_sum_table(operator), a_arr + b_arr, mode="wrap")
+        kernel = self._kernel(operator)
+        if not in_range:
+            lo, hi = operator.input_range()
+            in_range = not any(
+                operand.size and _scan_out_of_range(operand, lo, hi)
+                for operand in (a_arr, b_arr))
+        out: Optional[np.ndarray] = None
+        if in_range:
+            if operator.input_width <= self.max_pair_width:
+                out = self._pair_serve(operator, a_arr, b_arr, kernel)
+            elif operator.input_width <= self.max_value_width:
+                if b_arr.ndim == 0:
+                    out = self._value_serve(operator, a_arr, int(b_arr),
+                                            "right", kernel)
+                elif a_arr.ndim == 0:
+                    out = self._value_serve(operator, b_arr, int(a_arr),
+                                            "left", kernel)
+                elif bank:
+                    out = self._bank_serve(operator, a_arr, b_arr, kernel)
+        if out is not None:
+            return out
+        if kernel is not None and (in_range
+                                   or getattr(kernel, "range_safe", True)):
+            if a_arr.ndim and b_arr.ndim and a_arr.shape != b_arr.shape:
+                a_arr, b_arr = np.broadcast_arrays(a_arr, b_arr)
+            return np.asarray(kernel(a_arr, b_arr), dtype=np.int64)
+        return _functional(operator, a_arr, b_arr)
+
+    def _kernel(self, operator: Operator) -> Optional[Kernel]:
+        name = operator.name
+        if name not in self._kernels:
+            self._kernels[name] = get_kernel(operator)
+        return self._kernels[name]
+
+    def _evaluate(self, operator: Operator, kernel: Optional[Kernel],
+                  a, b) -> np.ndarray:
+        if kernel is not None:
+            return np.asarray(kernel(a, b), dtype=np.int64)
+        return np.asarray(operator.aligned(a, b), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Strategies (operands verified in range by ``execute``)
+    # ------------------------------------------------------------------ #
+    def _pair_serve(self, operator: Operator, a: np.ndarray, b: np.ndarray,
+                    kernel: Optional[Kernel]) -> Optional[np.ndarray]:
+        lo, hi = operator.input_range()
+        span = hi - lo + 1
+        table = _pair_table(
+            operator, None if kernel is None
+            else lambda x, y: self._evaluate(operator, kernel, x, y))
+        # Bounds semantics under a (false) in_range claim mirror the LUT
+        # tier: positive overshoots raise here and fail over to the kernel.
+        try:
+            return table.reshape(span, span)[a - lo, b - lo]
+        except IndexError:
+            return None
+
+    def _value_serve(self, operator: Operator, values: np.ndarray,
+                     constant: Optional[int], side: str,
+                     kernel: Optional[Kernel]) -> Optional[np.ndarray]:
+        """Eagerly-filled per-constant table, shared with the LUT tier.
+
+        The compiled tier fills the *whole* table in one kernel pass the
+        first time a constant recurs — with a kernel that is a handful of
+        vector passes over ``2**N`` values, cheaper than the lazy-fill
+        bookkeeping it replaces — and completes any partially-filled table
+        inherited from LUT-tier callers the same way.
+        """
+        if values.size == 0:
+            return None
+        lo, hi = operator.input_range()
+        span = hi - lo + 1
+        key = ("value", operator.family, operator.name, side, constant)
+        entry = _cache_get(key)
+        if entry is None:
+            if values.size < self.min_value_size:
+                return None  # tiny call: the kernel itself is cheaper
+            if not _note_value_key_sighting(key):
+                return None  # first sighting: only recurrence earns a table
+            with _CACHE_LOCK:
+                _PENDING_VALUE_KEYS.discard(key)
+            entry = _value_entry(key, span)
+        table, filled, miss_events = entry
+        if not filled.all():
+            # Writes go through internal in-bounds indices only, so even an
+            # off-contract caller can never poison the shared table.
+            miss_events[0] += 1
+            fresh_index = np.flatnonzero(~filled)
+            fresh = fresh_index + lo
+            if side == "square":
+                results = self._evaluate(operator, kernel, fresh, fresh)
+            elif side == "right":
+                results = self._evaluate(operator, kernel, fresh,
+                                         np.int64(constant))
+            else:
+                results = self._evaluate(operator, kernel,
+                                         np.int64(constant), fresh)
+            table[fresh_index] = results
+            filled[fresh_index] = True
+        try:
+            return table[values - lo]
+        except IndexError:
+            return None  # false in_range claim: fail over to the kernel
+
+    def _bank_serve(self, operator: Operator, a: np.ndarray, b: np.ndarray,
+                    kernel: Optional[Kernel]) -> Optional[np.ndarray]:
+        """Dense stacked bank table: one flat gather serves the whole call.
+
+        The per-bank ``(constants, span)`` table is built in a *single*
+        broadcast kernel evaluation, keyed by the constant tuple itself so
+        a recurring bank (a DCT pass's cosine rows, an FFT stage's
+        twiddles) is recognised as a unit — no per-constant keys, no
+        argsort grouping, no Python loop at serve time.
+        """
+        constants, inverse = np.unique(b, return_inverse=True)
+        if not constants.size or constants.size > self.max_bank_constants:
+            return None
+        lo, hi = operator.input_range()
+        span = hi - lo + 1
+        if constants.size * span * 8 > self.max_bank_table_bytes:
+            return None
+        key = ("bankstack", operator.family, operator.name,
+               tuple(int(value) for value in constants))
+        stack = _cache_get(key)
+        if stack is None:
+            if not _note_value_key_sighting(key):
+                return None  # one-shot bank (drifting centroids): no table
+            with _CACHE_LOCK:
+                _PENDING_VALUE_KEYS.discard(key)
+
+            def build(arrays: List[np.ndarray]) -> None:
+                values = np.arange(lo, hi + 1, dtype=np.int64)
+                arrays[0][...] = self._evaluate(
+                    operator, kernel,
+                    values[np.newaxis, :], constants[:, np.newaxis])
+
+            arrays, _mode = table_arena.get_or_build(
+                key, [((constants.size, span), np.int64)], build)
+            stack = _cache_insert(key, arrays[0])
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        rows = np.broadcast_to(inverse.reshape(b.shape), shape)
+        try:
+            return stack.reshape(-1)[rows * span
+                                     + (np.broadcast_to(a, shape) - lo)]
+        except IndexError:
+            return None  # false in_range claim: fail over to the kernel
+
+
+def describe_backends() -> List[Dict[str, object]]:
+    """Availability listing for ``repro list`` and the server ``experiments``.
+
+    One entry per registered backend; the compiled entry details its engine
+    (numba vs the closed-form vector fallback), the kernelised operator
+    families and whether the shared-memory arena is active.
+    """
+    descriptions = {
+        "direct": "bit-exact functional models (reference)",
+        "lut": "precomputed lookup tables, bit-identical to direct",
+        "compiled": "compiled kernels + shared stacked tables, "
+                    "bit-identical to direct",
+    }
+    entries: List[Dict[str, object]] = []
+    for name in registered_backends():
+        entry: Dict[str, object] = {
+            "name": name,
+            "available": True,
+            "description": descriptions.get(name, "plug-in backend"),
+        }
+        if name == "compiled":
+            stats = compiled_stats()
+            entry["engine"] = stats["engine"]
+            entry["numba"] = stats["numba"]
+            entry["kernel_families"] = stats["kernel_families"]
+            entry["arena"] = table_arena.arena_enabled()
+        entries.append(entry)
+    return entries
+
+
+# --------------------------------------------------------------------------- #
 # Registry (mirrors repro/workloads/registry.py)
 # --------------------------------------------------------------------------- #
 BackendFactory = Callable[..., ExecutionBackend]
@@ -745,3 +1069,4 @@ def backend_spec(backend: BackendLike) -> str:
 
 register_backend("direct", DirectBackend)
 register_backend("lut", LutBackend)
+register_backend("compiled", CompiledBackend)

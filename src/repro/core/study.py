@@ -33,6 +33,7 @@ from ..operators.adders import ExactAdder
 from ..operators.base import AdderOperator, MultiplierOperator, Operator
 from ..workloads.base import OperatorMap, Workload, WorkloadResult
 from ..workloads.registry import parse_workload
+from . import table_arena
 from .backends import BackendLike, backend_spec
 from .datapath import (
     DatapathEnergyBreakdown,
@@ -352,7 +353,15 @@ class Study:
         :func:`resolve_workers`: capped at the machine's CPU count and
         overridable via the ``REPRO_WORKERS`` environment variable.
         """
+        requested = workers
         workers = resolve_workers(workers)
+        # An auto-capped worker request with the shared table arena active
+        # is a best-effort parallelism hint, not a contract: if the pool
+        # then cannot start at all, the serial path still reads the same
+        # warm shared tables, so the fallback is routine — not warning-worthy.
+        quiet_fallback = (requested is not None
+                          and workers < max(1, int(requested))
+                          and table_arena.arena_enabled())
         if self._workload is None:
             raise ValueError("no workload selected; call .workload(...) first")
         if self._pair is not None and self._axis == "design":
@@ -373,7 +382,8 @@ class Study:
         if store_offered:
             self._energy_model.store = self._store
         try:
-            return self._run_resolved(workload, config, seed, workers)
+            return self._run_resolved(workload, config, seed, workers,
+                                      quiet_fallback)
         finally:
             if store_offered:
                 self._energy_model.store = None
@@ -431,7 +441,8 @@ class Study:
         return [self._sweep_key(task) for _, task in tasks]
 
     def _run_resolved(self, workload: Workload, config: Dict[str, object],
-                      seed: int, workers: int) -> ExperimentResult:
+                      seed: int, workers: int,
+                      quiet_fallback: bool = False) -> ExperimentResult:
         """Execute the configured sweep (see :meth:`run`)."""
         points, selected, tasks = self._resolved_tasks(workload, config, seed)
 
@@ -445,7 +456,8 @@ class Study:
         build_row = self._row_builder or _default_row
         rows: Dict[int, Dict[str, object]] = {}
         store_hits = 0
-        for index, outcome, fresh in self._outcomes(tasks, workers):
+        for index, outcome, fresh in self._outcomes(tasks, workers,
+                                                    quiet_fallback):
             operator_map, adder, multiplier, design = points[index]
             if not fresh:
                 store_hits += 1
@@ -582,7 +594,7 @@ class Study:
     # ------------------------------------------------------------------ #
     def _outcomes(self, tasks: List[Tuple[int, Tuple[Workload, OperatorMap,
                                                      Dict[str, object], int]]],
-                  workers: int):
+                  workers: int, quiet_fallback: bool = False):
         """Yield ``(index, WorkloadResult, fresh)`` in completion order.
 
         ``tasks`` pairs each sweep point with its global sweep index (the
@@ -604,7 +616,8 @@ class Study:
                 keys[index] = key
             pending.append((index, task))
 
-        for index, result in self._execute_stream(pending, workers):
+        for index, result in self._execute_stream(pending, workers,
+                                                  quiet_fallback):
             if self._store is not None and index in keys:
                 payload = _result_to_record(result)
                 if payload is not None:
@@ -634,7 +647,7 @@ class Study:
     @staticmethod
     def _execute_stream(pending: List[Tuple[int, Tuple[Workload, OperatorMap,
                                                        Dict[str, object], int]]],
-                        workers: int):
+                        workers: int, quiet_fallback: bool = False):
         """Yield ``(index, WorkloadResult)`` as sweep points complete.
 
         ``workers > 1`` streams completions out of a process pool (in
@@ -672,10 +685,11 @@ class Study:
                     yield index, result
             return
         except (OSError, BrokenExecutor) as error:
-            warnings.warn(
-                f"process pool unavailable ({error.__class__.__name__}: "
-                f"{error}); falling back to serial execution — results are "
-                f"identical, only slower", RuntimeWarning)
+            if not quiet_fallback:
+                warnings.warn(
+                    f"process pool unavailable ({error.__class__.__name__}: "
+                    f"{error}); falling back to serial execution — results "
+                    f"are identical, only slower", RuntimeWarning)
         for index, task in pending:
             if index not in done:
                 yield index, _execute_point(task)

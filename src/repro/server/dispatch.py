@@ -34,7 +34,12 @@ import threading
 import time
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
-from ..core.backends import cache_stats, registered_backends, set_table_cache_limit
+from ..core.backends import (
+    cache_stats,
+    describe_backends,
+    registered_backends,
+    set_table_cache_limit,
+)
 from ..core.datapath import DatapathEnergyModel
 from ..core.designspace import (
     DesignSpace,
@@ -425,6 +430,7 @@ def _experiments(state: ServerState, params: Dict[str, object]
         "operators": registered_mnemonics(),
         "operator_details": describe_operators(),
         "backends": registered_backends(),
+        "backend_details": describe_backends(),
     }
 
 

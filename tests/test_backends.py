@@ -305,6 +305,171 @@ class TestLutEquivalence(object):
         assert table_cache_size() == 1  # same sum table, no rebuild
 
 
+class TestCompiledEquivalence(object):
+    """The ``"compiled"`` tier is bit-identical to ``"direct"`` everywhere."""
+
+    def test_registered_and_parameterised(self):
+        from repro.core import CompiledBackend
+
+        assert "compiled" in registered_backends()
+        backend = parse_backend("compiled(max_pair_width=8)")
+        assert isinstance(backend, CompiledBackend)
+        assert backend.max_pair_width == 8
+
+    @pytest.mark.parametrize("spec", sorted(EIGHT_BIT_SPECS.values()))
+    def test_exhaustive_8bit_equivalence(self, spec):
+        """Every operand pair of every registered 8-bit operator agrees."""
+        from repro.core import CompiledBackend
+
+        clear_table_cache()
+        operator = parse_operator(spec)
+        a, b = operator.exhaustive_inputs()
+        direct = DirectBackend().execute(operator, a, b)
+        compiled = CompiledBackend().execute(operator, a, b)
+        assert np.array_equal(direct, compiled), spec
+
+    @pytest.mark.parametrize("spec", sorted(EIGHT_BIT_SPECS.values()))
+    def test_exhaustive_8bit_without_pair_tables(self, spec):
+        """With pair tables disabled the kernels / value strategies serve."""
+        from repro.core import CompiledBackend
+
+        clear_table_cache()
+        operator = parse_operator(spec)
+        a, b = operator.exhaustive_inputs()
+        direct = DirectBackend().execute(operator, a, b)
+        backend = CompiledBackend(max_pair_width=2, min_value_size=1)
+        assert np.array_equal(direct, backend.execute(operator, a, b)), spec
+
+    @pytest.mark.parametrize("spec", sorted(EIGHT_BIT_SPECS.values()))
+    def test_scalar_array_and_bank_shapes_8bit(self, spec):
+        """Scalar-constant, array and bank call shapes all stay bit-exact."""
+        from repro.core import CompiledBackend
+
+        clear_table_cache()
+        operator = parse_operator(spec)
+        a, b = operator.exhaustive_inputs()
+        direct = DirectBackend()
+        backend = CompiledBackend(max_pair_width=2, min_value_size=1)
+        # scalar x scalar
+        assert np.array_equal(
+            direct.execute(operator, a[7], b[7]),
+            backend.execute(operator, a[7], b[7])), spec
+        # array x scalar constant — twice, so the second call is table-served
+        values, constant = a[:300], int(b[17])
+        reference = direct.execute(operator, values, constant)
+        for _ in range(2):
+            assert np.array_equal(
+                reference, backend.execute(operator, values, constant)), spec
+        # bank of constants broadcast over data — twice (stack admission)
+        column = values[:, np.newaxis]
+        bank = np.array([[int(b[3]), int(b[200]), int(b[77])]],
+                        dtype=np.int64)
+        reference = direct.execute(operator, column, bank, bank=True)
+        for _ in range(2):
+            assert np.array_equal(
+                reference,
+                backend.execute(operator, column, bank, bank=True)), spec
+
+    @pytest.mark.parametrize("spec", [
+        "AAM(16)", "AAM(16, compensation=false)", "ABM(16)", "ABM(16,3)",
+        "BOOTH(16)", "ACA(16,8)", "RCAApx(16,6,1)", "RCAApx(16,6,2)",
+        "RCAApx(16,6,3)", "ETAII(16,4)", "ETAIV(16,4)",
+    ])
+    def test_16bit_kernels_match_direct_on_random_stimulus(self, spec):
+        """The wide closed-form kernels agree on random in-range arrays."""
+        from repro.core import CompiledBackend
+
+        clear_table_cache()
+        operator = parse_operator(spec)
+        a, b = operator.random_inputs(4096, rng=np.random.default_rng(21))
+        direct = DirectBackend().execute(operator, a, b)
+        compiled = CompiledBackend().execute(operator, a, b)
+        assert np.array_equal(direct, compiled), spec
+
+    def test_out_of_range_stimulus_stays_exact(self):
+        """Off-grid operands (no in_range claim) never change results."""
+        from repro.core import CompiledBackend
+
+        clear_table_cache()
+        rng = np.random.default_rng(22)
+        wild = rng.integers(-(1 << 20), 1 << 20, size=600, dtype=np.int64)
+        partner = rng.integers(-(1 << 20), 1 << 20, size=600, dtype=np.int64)
+        backend = CompiledBackend()
+        for spec in ("AAM(16)", "ABM(16)", "BOOTH(16)", "MULt(16,16)",
+                     "ACA(16,8)", "ETAIV(16,4)"):
+            operator = parse_operator(spec)
+            direct = DirectBackend().execute(operator, wild, partner)
+            assert np.array_equal(
+                direct, backend.execute(operator, wild, partner)), spec
+
+    def test_wrong_in_range_claim_fails_closed(self):
+        """Off-grid operands under a false claim never poison the tables."""
+        from repro.core import CompiledBackend
+
+        clear_table_cache()
+        operator = parse_operator("MULt(16,16)")
+        backend = CompiledBackend(min_value_size=1)
+        good = np.full(400, 25536, dtype=np.int64)
+        for _ in range(2):  # open and (eagerly) fill the constant-7 table
+            backend.execute(operator, good, 7, in_range=True)
+        bad_positive = np.full(400, 40000, dtype=np.int64)
+        assert np.array_equal(
+            DirectBackend().execute(operator, bad_positive, 7),
+            backend.execute(operator, bad_positive, 7, in_range=True))
+        backend.execute(operator, np.full(400, -40000, dtype=np.int64), 7,
+                        in_range=True)
+        # ... the compliant path still serves bit-exactly afterwards.
+        assert np.array_equal(
+            DirectBackend().execute(operator, good, 7),
+            backend.execute(operator, good, 7, in_range=True))
+
+    def test_bank_opens_one_stacked_table(self):
+        """A recurring bank earns a single stacked table, not one per tap."""
+        from repro.core import CompiledBackend
+
+        clear_table_cache()
+        operator = parse_operator("MULt(16,16)")
+        rng = np.random.default_rng(23)
+        a = rng.integers(-32768, 32768, size=(2000, 1), dtype=np.int64)
+        bank = np.array([[5, -77, 1234]], dtype=np.int64)
+        direct = DirectBackend().execute(operator, a, bank, bank=True)
+        backend = CompiledBackend()
+        assert np.array_equal(direct,
+                              backend.execute(operator, a, bank, bank=True))
+        assert table_cache_size() == 0  # first sighting: no table yet
+        assert np.array_equal(direct,
+                              backend.execute(operator, a, bank, bank=True))
+        assert table_cache_size() == 1  # one stack for the whole bank
+
+    def test_one_shot_banks_never_open_stacks(self):
+        """Drifting banks (K-means centroids) stay on the kernels."""
+        from repro.core import CompiledBackend
+
+        clear_table_cache()
+        operator = parse_operator("AAM(16)")
+        rng = np.random.default_rng(24)
+        points = rng.integers(-32768, 32768, size=(400, 1), dtype=np.int64)
+        backend = CompiledBackend(min_value_size=1)
+        direct = DirectBackend()
+        for step in range(6):  # six distinct one-shot centroid banks
+            bank = rng.integers(-32768, 32768, size=(1, 4), dtype=np.int64)
+            assert np.array_equal(
+                direct.execute(operator, points, bank, bank=True),
+                backend.execute(operator, points, bank, bank=True)), step
+        assert table_cache_size() == 0
+
+    def test_describe_backends_lists_compiled_details(self):
+        from repro.core import describe_backends
+
+        entries = {entry["name"]: entry for entry in describe_backends()}
+        assert {"direct", "lut", "compiled"} <= set(entries)
+        compiled = entries["compiled"]
+        assert compiled["engine"] in {"numba", "vector"}
+        assert isinstance(compiled["numba"], bool)
+        assert "AAMMultiplier" in compiled["kernel_families"]
+        assert isinstance(compiled["arena"], bool)
+
+
 class TestApproxContext(object):
     def test_defaults_are_the_exact_baseline(self):
         context = ApproxContext()
@@ -410,6 +575,12 @@ class TestStudyBackendThreading(object):
         assert direct.rows == lut.rows
         assert lut.metadata["backend"] == "lut"
 
+    def test_compiled_study_records_are_bit_identical(self):
+        direct = self._study("direct").run()
+        compiled = self._study("compiled").run()
+        assert direct.rows == compiled.rows
+        assert compiled.metadata["backend"] == "compiled"
+
     def test_backend_instance_accepted(self):
         result = self._study(LutBackend(max_pair_width=8)).run()
         assert result.metadata["backend"] == "lut"
@@ -495,9 +666,15 @@ class TestTableCacheLimit(object):
 
         stats = cache_stats()
         assert set(stats) == {"tables", "limit", "hits", "misses",
-                              "evictions"}
+                              "evictions", "arena", "compiled"}
         assert stats["tables"] == 0
         assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+        assert set(stats["arena"]) >= {"enabled", "builds", "attaches",
+                                       "rehits", "open_segments",
+                                       "registry_segments"}
+        assert set(stats["compiled"]) >= {"numba", "engine",
+                                          "kernel_families"}
+        assert stats["compiled"]["engine"] in {"numba", "vector"}
 
     def test_hits_and_misses_are_counted(self):
         from repro.core import cache_stats

@@ -3,7 +3,8 @@
 The contract of the fusion refactor: every application kernel run with
 ``fused=True`` (the default) must produce records *bit-identical* to the
 seed-style per-constant loops (``fused=False``), with exactly the same
-operation counts, on both the ``"direct"`` and ``"lut"`` backends.
+operation counts, on the ``"direct"``, ``"lut"`` and ``"compiled"``
+backends.
 """
 import numpy as np
 import pytest
@@ -24,7 +25,7 @@ OPERATOR_PAIRINGS = [
     ("ETAIV(16,4)", "ABM(16)"),
 ]
 
-BACKENDS = ["direct", "lut"]
+BACKENDS = ["direct", "lut", "compiled"]
 
 
 def make_context(backend, adder, multiplier):

@@ -218,3 +218,45 @@ def test_resolve_workers_env_override(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
     with pytest.warns(RuntimeWarning):
         assert resolve_workers(1) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Serial-fallback warning discipline
+# --------------------------------------------------------------------------- #
+class TestSerialFallbackWarning(object):
+    """Pool failure warns — unless the request was auto-capped and the
+    shared table arena is active, where the serial path reads the same
+    warm tables and the fallback is routine."""
+
+    def _study(self):
+        return (Study().workload("fft", size=16, frames=1)
+                .adders(["ADDt(16,10)", "ACA(16,8)"]))
+
+    def _break_pool(self, monkeypatch):
+        import concurrent.futures
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores in this environment")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            broken_pool)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+    def test_pool_failure_warns_by_default(self, monkeypatch):
+        self._break_pool(monkeypatch)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)  # request not capped
+        monkeypatch.setenv("REPRO_TABLE_ARENA", "0")
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = self._study().run(workers=2)
+        assert len(result.rows) == 2
+
+    def test_auto_capped_request_with_arena_is_quiet(self, monkeypatch):
+        import warnings
+
+        self._break_pool(monkeypatch)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        monkeypatch.delenv("REPRO_TABLE_ARENA", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = self._study().run(workers=64)
+        assert len(result.rows) == 2
