@@ -34,7 +34,14 @@ Two further sections measure the machinery underneath the studies:
   (colour transforms, quantisation, PSNR) which dominates full-study wall
   clock and caps ``compiled_vs_lut`` near parity;
 * the ``tables`` section times a cold table build (arena purged) against a
-  warm cross-process arena attach of the same tables.
+  warm cross-process arena attach of the same tables;
+* the ``search`` section (``search_vs_sweep``) runs the seeded
+  successive-halving driver on the CI-gated ``fft_joint`` target at full
+  stimulus density and the exhaustive sweep of the same space, recording
+  the evaluation-cost advantage (exhaustive evaluations over the search's
+  full-density cost units, floor ``1/0.35``) and the recall (1.0 when the
+  searched front is exactly the exhaustive front — the floor, since
+  anything less is a correctness failure, not a slowdown).
 
 Run with::
 
@@ -264,6 +271,68 @@ def bench_tables() -> dict:
     return record
 
 
+#: ``eval_advantage`` floor of the ``search_vs_sweep`` study: the CI gate
+#: requires the search to spend at most 35% of the exhaustive cost, i.e.
+#: an advantage of at least 1/0.35.
+SEARCH_ADVANTAGE_FLOOR = 2.85
+
+SEARCH_RECALL_FLOOR = 1.0
+
+
+def bench_search() -> dict:
+    """Seeded halving search against the exhaustive sweep it must match.
+
+    Same target, seed and full stimulus density as the CI recall gate
+    (``repro search fft_joint --strategy halving --seed 7 --full``), so the
+    advantage and recall recorded here are the gated numbers, with wall
+    clocks alongside them.
+    """
+    from repro.search import get_target, search_row
+
+    target = get_target("fft_joint")
+
+    clear_table_cache()
+    start = time.perf_counter()
+    outcome = target.study(reduced=False).search(
+        target.strategy("halving", seed=SEED))
+    search_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    exhaustive = (target.study(reduced=False)
+                  .design_space(target.space())
+                  .rows(search_row)
+                  .run())
+    exhaustive_s = time.perf_counter() - start
+
+    reference = exhaustive.front(target.quality, target.cost)
+    recall = 1.0 if outcome.front.rows == reference.rows else 0.0
+    record = {
+        "description": "search_vs_sweep: successive halving on the CI-gated "
+                       "fft_joint space vs the exhaustive sweep, full "
+                       "stimulus density",
+        "target": target.name,
+        "strategy": "halving",
+        "seed": SEED,
+        "space_size": outcome.space_size,
+        "search_evaluations": outcome.evaluations,
+        "search_cost_units": round(outcome.cost_units, 4),
+        "exhaustive_evaluations": len(exhaustive.rows),
+        "search_s": round(search_s, 4),
+        "exhaustive_s": round(exhaustive_s, 4),
+        "eval_advantage": round(len(exhaustive.rows) / outcome.cost_units, 2),
+        "front_points": len(outcome.front.records),
+        "recall": recall,
+        "advantage_floor": SEARCH_ADVANTAGE_FLOOR,
+        "recall_floor": SEARCH_RECALL_FLOOR,
+    }
+    print(f"search: halving {search_s:6.2f}s "
+          f"({record['search_cost_units']} cost units) | exhaustive "
+          f"{exhaustive_s:6.2f}s ({record['exhaustive_evaluations']} evals) "
+          f"| advantage {record['eval_advantage']:.2f}x | recall "
+          f"{recall:.0%}")
+    return record
+
+
 def load_floors(path: Path) -> dict:
     """Recorded per-study speedup floors from an earlier BENCH_perf.json.
 
@@ -277,6 +346,8 @@ def load_floors(path: Path) -> dict:
     recorded = dict(payload.get("studies", {}))
     if "tables" in payload:
         recorded["tables"] = payload["tables"]
+    if "search" in payload:
+        recorded["search"] = payload["search"]
     floors = {}
     for name, study in recorded.items():
         gates = {}
@@ -288,6 +359,10 @@ def load_floors(path: Path) -> dict:
             gates["kernel_speedup"] = study["kernel_floor"]
         if "attach_floor" in study:
             gates["attach_speedup"] = study["attach_floor"]
+        if "advantage_floor" in study:
+            gates["eval_advantage"] = study["advantage_floor"]
+        if "recall_floor" in study:
+            gates["recall"] = study["recall_floor"]
         if gates:
             floors[name] = gates
     return floors
@@ -323,6 +398,7 @@ def main(argv=None) -> int:
     payload["studies"]["jpeg16"].update(
         bench_multiplier_kernels(STUDIES["jpeg16"]))
     payload["tables"] = bench_tables()
+    payload["search"] = bench_search()
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
 
@@ -334,7 +410,8 @@ def main(argv=None) -> int:
                   f"{args.baseline or args.output}; the regression gate "
                   f"has nothing to enforce", file=sys.stderr)
             failed = True
-        measured_sections = dict(payload["studies"], tables=payload["tables"])
+        measured_sections = dict(payload["studies"], tables=payload["tables"],
+                                 search=payload["search"])
         for name, gates in floors.items():
             study = measured_sections.get(name)
             if study is None:

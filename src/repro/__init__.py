@@ -56,7 +56,7 @@ from .core import (
 )
 from .workloads import Workload, WorkloadResult, parse_workload, register_workload
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ApproxContext",

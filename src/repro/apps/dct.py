@@ -16,7 +16,7 @@ matrix entry); results and operation counts are bit-identical either way.
 """
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -59,7 +59,9 @@ class FixedPointDCT:
     def __init__(self, data_width: int = 16,
                  context: Optional[ApproxContext] = None,
                  block_size: int = BLOCK_SIZE,
-                 fused: bool = True) -> None:
+                 fused: bool = True,
+                 pass_contexts: Optional[Sequence[ApproxContext]] = None
+                 ) -> None:
         if context is None:
             context = ApproxContext(data_width=data_width)
         elif context.data_width != data_width:
@@ -69,6 +71,22 @@ class FixedPointDCT:
         self.block_size = block_size
         self.fused = bool(fused)
         self.context = context
+        # Heterogeneous datapath: one context per matrix pass (rows, then
+        # columns) of the 2-D transform, for per-pass operator assignment.
+        self.pass_contexts: Optional[List[ApproxContext]] = None
+        if pass_contexts is not None:
+            contexts = list(pass_contexts)
+            if len(contexts) != 2:
+                raise ValueError(
+                    f"expected 2 pass contexts (row pass, column pass), "
+                    f"got {len(contexts)}")
+            for index, pass_ctx in enumerate(contexts):
+                if pass_ctx.data_width != data_width:
+                    raise ValueError(
+                        f"pass {index} context word length "
+                        f"({pass_ctx.data_width} bits) does not match the "
+                        f"datapath ({data_width} bits)")
+            self.pass_contexts = contexts
         self.data_width = context.data_width
         self.pixel_frac_bits = max(0, self.data_width - 11)
         self.coeff_frac_bits = max(2, self.data_width - 2)
@@ -89,14 +107,16 @@ class FixedPointDCT:
     # ------------------------------------------------------------------ #
     # Instrumented arithmetic
     # ------------------------------------------------------------------ #
-    def _matmul(self, coeffs: np.ndarray, data: np.ndarray) -> np.ndarray:
+    def _matmul(self, coeffs: np.ndarray, data: np.ndarray,
+                ctx: Optional[ApproxContext] = None) -> np.ndarray:
         """``coeffs @ data`` per block, through the context's operators.
 
         ``data`` has shape ``(blocks, n, columns)``; the result has shape
         ``(blocks, n, columns)`` where row ``r`` is the instrumented dot
         product of coefficient row ``r`` with the data rows.
         """
-        ctx = self.context
+        if ctx is None:
+            ctx = self.context
         blocks, n, columns = data.shape
         if self.fused:
             # Stage-fused: one banked call per dot-product step — data row k
@@ -141,10 +161,12 @@ class FixedPointDCT:
         if single:
             data = data[np.newaxis, :, :]
         codes = data << self.pixel_frac_bits
-        temp = self._matmul(self._coeffs, codes)
+        row_ctx, col_ctx = self.pass_contexts \
+            if self.pass_contexts is not None else (None, None)
+        temp = self._matmul(self._coeffs, codes, ctx=row_ctx)
         transposed = np.transpose(temp, (0, 2, 1))
-        result = np.transpose(self._matmul(self._coeffs, transposed),
-                              (0, 2, 1))
+        result = np.transpose(
+            self._matmul(self._coeffs, transposed, ctx=col_ctx), (0, 2, 1))
         return result[0] if single else result
 
     def forward_float(self, block: np.ndarray) -> np.ndarray:
@@ -172,3 +194,10 @@ class FixedPointDCT:
         per_block = 2 * n * n * n
         return OperationCounts(additions=per_block * blocks,
                                multiplications=per_block * blocks)
+
+    def pass_operation_counts(self, blocks: int = 1) -> List[OperationCounts]:
+        """Per-pass operation inventory: the two matrix passes split evenly."""
+        n = self.block_size
+        per_pass = n * n * n * blocks
+        return [OperationCounts(additions=per_pass, multiplications=per_pass)
+                for _ in range(2)]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,11 +60,20 @@ class FixedPointFFT:
         butterflies with the twiddles as a coefficient bank; ``False``
         replays the seed-style per-twiddle loop.  Results and operation
         counts are bit-identical either way.
+    stage_contexts:
+        Optional per-stage contexts — one per ``log2(size)`` stage — for
+        heterogeneous datapaths that assign a different operator to each
+        stage (the design-space search's per-stage axis).  All contexts
+        must share the transform's word length; stage ``s`` executes every
+        butterfly of stage ``s`` through ``stage_contexts[s]``, and the
+        result's counts aggregate across the distinct contexts.
     """
 
     def __init__(self, size: int = 32, data_width: int = 16,
                  context: Optional[ApproxContext] = None,
-                 fused: bool = True) -> None:
+                 fused: bool = True,
+                 stage_contexts: Optional[Sequence[ApproxContext]] = None
+                 ) -> None:
         if size < 2 or size & (size - 1) != 0:
             raise ValueError("FFT size must be a power of two >= 2")
         if context is None:
@@ -78,6 +87,21 @@ class FixedPointFFT:
         self.data_width = context.data_width
         self.frac_bits = context.frac_bits
         self.fused = bool(fused)
+        self.stage_contexts: Optional[List[ApproxContext]] = None
+        if stage_contexts is not None:
+            stages = int(math.log2(size))
+            contexts = list(stage_contexts)
+            if len(contexts) != stages:
+                raise ValueError(
+                    f"expected {stages} stage contexts for a size-{size} "
+                    f"transform, got {len(contexts)}")
+            for stage, stage_ctx in enumerate(contexts):
+                if stage_ctx.data_width != self.data_width:
+                    raise ValueError(
+                        f"stage {stage} context word length "
+                        f"({stage_ctx.data_width} bits) does not match the "
+                        f"datapath ({self.data_width} bits)")
+            self.stage_contexts = contexts
         self._twiddles = self._quantized_twiddles()
 
     @property
@@ -105,10 +129,11 @@ class FixedPointFFT:
     # ------------------------------------------------------------------ #
     # Instrumented arithmetic
     # ------------------------------------------------------------------ #
-    def _mul(self, a: np.ndarray, twiddle, bank: bool = False) -> np.ndarray:
+    def _mul(self, ctx: ApproxContext, a: np.ndarray, twiddle,
+             bank: bool = False) -> np.ndarray:
         """Q1.15 x Q1.15 product re-aligned to Q1.15 (shift by frac_bits)."""
-        product = self.context.mul(a, twiddle, bank=bank)
-        return self.context.wrap(product >> self.frac_bits)
+        product = ctx.mul(a, twiddle, bank=bank)
+        return ctx.wrap(product >> self.frac_bits)
 
     @staticmethod
     def _halve(value: np.ndarray) -> np.ndarray:
@@ -130,8 +155,13 @@ class FixedPointFFT:
     def forward(self, real: np.ndarray,
                 imag: Optional[np.ndarray] = None) -> FftResult:
         """Run the transform on Q1.(data_width-1) integer codes."""
-        ctx = self.context
-        start = ctx.counts
+        contexts = self.stage_contexts
+        starting: List[Tuple[ApproxContext, OperationCounts]] = []
+        seen_ids = set()
+        for stage_ctx in (contexts if contexts is not None else [self.context]):
+            if id(stage_ctx) not in seen_ids:
+                seen_ids.add(id(stage_ctx))
+                starting.append((stage_ctx, stage_ctx.counts))
         x_re = np.asarray(real, dtype=np.int64).copy()
         x_im = np.zeros_like(x_re) if imag is None \
             else np.asarray(imag, dtype=np.int64).copy()
@@ -143,7 +173,10 @@ class FixedPointFFT:
         tw_re, tw_im = self._twiddles
 
         half = 1
+        stage = 0
         while half < self.size:
+            ctx = contexts[stage] if contexts is not None else self.context
+            stage += 1
             step = self.size // (2 * half)
             if self.fused:
                 # Stage-fused: every butterfly of the stage in one batched
@@ -163,10 +196,10 @@ class FixedPointFFT:
                 b_re, b_im = self._halve(x_re[bottoms]), self._halve(x_im[bottoms])
 
                 # Complex twiddle multiplication (4 real mult, 2 real add).
-                prod_re = ctx.sub(self._mul(b_re, w_re, bank=True),
-                                  self._mul(b_im, w_im, bank=True))
-                prod_im = ctx.add(self._mul(b_re, w_im, bank=True),
-                                  self._mul(b_im, w_re, bank=True))
+                prod_re = ctx.sub(self._mul(ctx, b_re, w_re, bank=True),
+                                  self._mul(ctx, b_im, w_im, bank=True))
+                prod_im = ctx.add(self._mul(ctx, b_re, w_im, bank=True),
+                                  self._mul(ctx, b_im, w_re, bank=True))
 
                 # Butterfly combine (4 real additions).
                 x_re[tops] = ctx.add(a_re, prod_re)
@@ -189,8 +222,10 @@ class FixedPointFFT:
                 b_re, b_im = self._halve(x_re[bottoms]), self._halve(x_im[bottoms])
 
                 # Complex twiddle multiplication (4 real mult, 2 real add).
-                prod_re = ctx.sub(self._mul(b_re, w_re), self._mul(b_im, w_im))
-                prod_im = ctx.add(self._mul(b_re, w_im), self._mul(b_im, w_re))
+                prod_re = ctx.sub(self._mul(ctx, b_re, w_re),
+                                  self._mul(ctx, b_im, w_im))
+                prod_im = ctx.add(self._mul(ctx, b_re, w_im),
+                                  self._mul(ctx, b_im, w_re))
 
                 # Butterfly combine (4 real additions).
                 x_re[tops] = ctx.add(a_re, prod_re)
@@ -199,7 +234,10 @@ class FixedPointFFT:
                 x_im[bottoms] = ctx.sub(a_im, prod_im)
             half *= 2
 
-        return FftResult(real=x_re, imag=x_im, counts=ctx.counts_since(start))
+        total = OperationCounts()
+        for stage_ctx, start in starting:
+            total = total + stage_ctx.counts_since(start)
+        return FftResult(real=x_re, imag=x_im, counts=total)
 
     # ------------------------------------------------------------------ #
     # References
@@ -219,6 +257,20 @@ class FixedPointFFT:
         butterflies = stages * self.size // 2
         return OperationCounts(additions=6 * butterflies,
                                multiplications=4 * butterflies)
+
+    def stage_operation_counts(self) -> List[OperationCounts]:
+        """Per-stage operation inventory of one transform.
+
+        Every radix-2 stage executes ``size / 2`` butterflies (6 additions
+        and 4 twiddle multiplications each), so the stages split the total
+        of :meth:`operation_counts` evenly — the accounting a heterogeneous
+        per-stage datapath charges stage by stage.
+        """
+        stages = int(math.log2(self.size))
+        butterflies = self.size // 2
+        return [OperationCounts(additions=6 * butterflies,
+                                multiplications=4 * butterflies)
+                for _ in range(stages)]
 
 
 def random_q15_signal(size: int, amplitude: float = 0.5,

@@ -16,7 +16,7 @@ run-length reference kept for unit tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -123,16 +123,29 @@ class JpegEncoder:
 
     def __init__(self, quality: int = 90,
                  context: Optional[ApproxContext] = None,
-                 data_width: int = 16, fused: bool = True) -> None:
+                 data_width: int = 16, fused: bool = True,
+                 pass_contexts: Optional[Sequence[ApproxContext]] = None
+                 ) -> None:
         self.quality = quality
         self.table = quality_scaled_table(quality)
         self.dct = FixedPointDCT(data_width=data_width, context=context,
-                                 fused=fused)
+                                 fused=fused, pass_contexts=pass_contexts)
         self.context = self.dct.context
+
+    def _counting_contexts(self) -> List[ApproxContext]:
+        """Distinct contexts whose counters this encoder charges."""
+        if self.dct.pass_contexts is None:
+            return [self.context]
+        contexts: List[ApproxContext] = []
+        for ctx in self.dct.pass_contexts:
+            if all(ctx is not seen for seen in contexts):
+                contexts.append(ctx)
+        return contexts
 
     def encode_decode(self, image: np.ndarray) -> JpegResult:
         """Encode then decode an 8-bit grayscale image."""
-        start = self.context.counts
+        contexts = self._counting_contexts()
+        starting = [(ctx, ctx.counts) for ctx in contexts]
         padded = pad_to_multiple(np.asarray(image, dtype=np.float64), BLOCK_SIZE)
         rows, cols = padded.shape
         block_rows = rows // BLOCK_SIZE
@@ -156,8 +169,11 @@ class JpegEncoder:
                          .reshape(rows, cols))
 
         cropped = np.clip(reconstructed[: image.shape[0], : image.shape[1]], 0, 255)
+        counts = OperationCounts()
+        for ctx, start in starting:
+            counts = counts + ctx.counts_since(start)
         return JpegResult(reconstructed=cropped,
-                          counts=self.context.counts_since(start),
+                          counts=counts,
                           estimated_bits=total_bits)
 
 

@@ -1,6 +1,6 @@
 """``python -m repro`` — the reproduction's command-line front end.
 
-Nine subcommands wrap the experiment registry behind machine-readable JSON
+Ten subcommands wrap the experiment registry behind machine-readable JSON
 output (one document on stdout; progress and diagnostics go to stderr,
 which ``--quiet`` / ``REPRO_QUIET=1`` silences):
 
@@ -14,6 +14,13 @@ which ``--quiet`` / ``REPRO_QUIET=1`` silences):
   folding the shards' stores into one (``--store``) and gating against a
   golden unsharded run (``--golden``, non-zero exit on any divergence).
 * ``list`` — the experiment registry, names and titles.
+* ``search`` — adaptive design-space search (:mod:`repro.search`) over a
+  named target: successive halving on enumerable spaces, the NSGA-II
+  evolutionary driver on spaces too large to enumerate.  One seed fixes
+  the whole candidate schedule; re-running against the same ``--store``
+  replays warm.  ``--gate-exhaustive`` / ``--max-cost-fraction`` turn the
+  run into the CI gate: the searched front must equal the exhaustively
+  enumerated front at a bounded fraction of its evaluation cost.
 * ``bench`` — wall-clock comparison of the execution backends on a named
   experiment, the CLI face of ``benchmarks/perf_bench.py``'s quick mode.
 * ``fleet`` — lease-based fleet execution over a shared queue directory
@@ -150,6 +157,62 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(reduced=True)
     bench.add_argument("--output", metavar="PATH", default=None,
                        help="also write the JSON document to PATH")
+
+    search = commands.add_parser(
+        "search", help="adaptively search a design space for its front",
+        description="Explore a named design-space target with an adaptive "
+                    "driver (successive halving or the NSGA-II evolutionary "
+                    "loop) instead of enumerating it; one seed fixes the "
+                    "whole candidate schedule, every evaluation flows "
+                    "through --store, and re-running the same seed against "
+                    "the same store replays at zero simulation cost.")
+    search.add_argument("target", nargs="?", default="fft_joint",
+                        metavar="TARGET",
+                        help="search target: fft_joint (enumerable, gated), "
+                             "fft_per_stage or dct_per_pass (heterogeneous; "
+                             "default: %(default)s)")
+    search.add_argument("--strategy", default=None, metavar="NAME",
+                        help="search driver: 'halving' (enumerable spaces) "
+                             "or 'nsga2' (default: the target's own)")
+    search.add_argument("--seed", type=int, default=7, metavar="N",
+                        help="seed of the single random stream driving the "
+                             "candidate schedule (default: %(default)s)")
+    search.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="hard cap on candidate evaluations "
+                             "(default: the driver's own schedule)")
+    search.add_argument("--population", type=int, default=None, metavar="N",
+                        help="nsga2 population size (default: driver's)")
+    search.add_argument("--generations", type=int, default=None, metavar="N",
+                        help="nsga2 generation count (default: driver's)")
+    search.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool workers per evaluation batch "
+                             "(capped at the CPU count)")
+    search.add_argument("--backend", default="direct", metavar="SPEC",
+                        help="execution backend of the candidate sweeps "
+                             "(default: %(default)s)")
+    search.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent result store: checkpoints every "
+                             "candidate, serves completed ones on re-runs")
+    search.add_argument("--reduced", dest="reduced", action="store_true",
+                        help="the target's reduced stimulus density "
+                             "(the default)")
+    search.add_argument("--full", dest="reduced", action="store_false",
+                        help="the target's full stimulus density (what the "
+                             "CI gate runs)")
+    search.set_defaults(reduced=True)
+    search.add_argument("--gate-exhaustive", action="store_true",
+                        help="also enumerate the whole space and fail "
+                             "unless the searched front equals the "
+                             "exhaustive front exactly (enumerable "
+                             "targets only)")
+    search.add_argument("--max-cost-fraction", type=float, default=None,
+                        metavar="F",
+                        help="fail if the search spent more than this "
+                             "fraction of the exhaustive evaluation cost "
+                             "(e.g. 0.35; enumerable targets only)")
+    search.add_argument("--front-out", metavar="PATH", default=None,
+                        help="also write the searched front as a "
+                             "standalone JSON document to PATH")
 
     serve = commands.add_parser(
         "serve", help="run the long-lived evaluation server",
@@ -523,6 +586,72 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .search import get_target
+    from .search.evaluator import search_row
+
+    target = get_target(args.target)
+    gating = args.gate_exhaustive or args.max_cost_fraction is not None
+    if gating and not target.enumerable:
+        raise ValueError(
+            f"target {target.name!r} is not enumerable; the exhaustive "
+            f"gates need a finite space (use 'fft_joint')")
+    strategy = target.strategy(args.strategy, seed=args.seed,
+                               budget=args.budget,
+                               population=args.population,
+                               generations=args.generations)
+    study = target.study(reduced=args.reduced, backend=args.backend,
+                         store=args.store)
+    started = time.perf_counter()
+    outcome = study.search(strategy, workers=args.workers)
+    seconds = time.perf_counter() - started
+    _log(f"{target.name}: {strategy.name} evaluated {outcome.evaluations} "
+         f"candidate(s) of {outcome.space_size} in {seconds:.1f}s — "
+         f"{len(outcome.front.records)} on the front, "
+         f"{outcome.store_hits} served warm")
+    document: Dict[str, object] = {
+        "command": "search",
+        "target": target.name,
+        "reduced": args.reduced,
+        "seed": args.seed,
+        "workers": resolve_workers(args.workers),
+        "store": args.store,
+        "seconds": round(seconds, 3),
+        **outcome.to_dict(),
+    }
+    status = 0
+    if args.max_cost_fraction is not None:
+        fraction = outcome.cost_units / float(outcome.space_size)
+        document["cost_fraction"] = fraction
+        document["max_cost_fraction"] = args.max_cost_fraction
+        if fraction > args.max_cost_fraction:
+            _log(f"FAIL: search cost {fraction:.1%} of the exhaustive "
+                 f"evaluations (gate: {args.max_cost_fraction:.1%})")
+            status = 1
+    if args.gate_exhaustive:
+        exhaustive = (target.study(reduced=args.reduced,
+                                   backend=args.backend, store=args.store)
+                      .design_space(target.space())
+                      .rows(search_row)
+                      .run(workers=args.workers))
+        reference = exhaustive.front(target.quality, target.cost)
+        recall = outcome.front.rows == reference.rows
+        document["exhaustive_evaluations"] = len(exhaustive.rows)
+        document["exhaustive_front_points"] = len(reference.records)
+        document["front_matches_exhaustive"] = recall
+        if recall:
+            _log("searched front is exactly the exhaustive front "
+                 f"({len(reference.records)} point(s))")
+        else:
+            _log("FAIL: searched front diverges from the exhaustive front")
+            status = 1
+    if args.front_out is not None:
+        outcome.front.save_json(args.front_out)
+        document["front_out"] = args.front_out
+    _emit(document)
+    return status
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command is None:
         build_parser().parse_args(["fleet", "--help"])  # prints and exits
@@ -722,9 +851,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     handlers = {"run": _cmd_run, "merge": _cmd_merge,
                 "list": _cmd_list, "bench": _cmd_bench,
-                "fleet": _cmd_fleet, "report": _cmd_report,
-                "serve": _cmd_serve, "query": _cmd_query,
-                "store": _cmd_store}
+                "search": _cmd_search, "fleet": _cmd_fleet,
+                "report": _cmd_report, "serve": _cmd_serve,
+                "query": _cmd_query, "store": _cmd_store}
     fault_plan = getattr(args, "fault_plan", None)
     activated = False
     try:

@@ -522,6 +522,29 @@ class Study:
         bundle.add(self.run(workers=workers))
         return bundle
 
+    def search(self, strategy, workers: int = 1):
+        """Explore a design space adaptively instead of sweeping it.
+
+        ``strategy`` is a :class:`~repro.search.strategy.SearchStrategy`
+        (e.g. :class:`~repro.search.halving.SuccessiveHalving` or
+        :class:`~repro.search.evolutionary.EvolutionarySearch`); it owns
+        the space and proposes candidates, while this study supplies the
+        workload, stimulus seed, backend, store and objective axes
+        (:meth:`pareto` is required).  Every candidate evaluation flows
+        through the study's configured :meth:`store` by structural key, so
+        a search is resumable and — given one seed — bit-deterministic.
+        Returns the strategy's
+        :class:`~repro.search.strategy.SearchOutcome`.
+
+        The study is consumed as the search's evaluator: its operator list
+        is rewritten per candidate batch, so do not reuse it for a sweep
+        afterwards.
+        """
+        from ..search.evaluator import SearchEvaluator
+
+        evaluator = SearchEvaluator(self, workers=workers)
+        return strategy.search(evaluator)
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #

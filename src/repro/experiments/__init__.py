@@ -49,6 +49,7 @@ from .runner import (
     run_all,
     select_experiments,
 )
+from .search_study import fft_heterogeneous_search
 
 __all__ = [
     "adder_error_cost_study",
@@ -78,6 +79,7 @@ __all__ = [
     "TABLE6_MULTIPLIERS",
     "multiplier_compensation_ablation",
     "rounding_mode_ablation",
+    "fft_heterogeneous_search",
     "run_all",
     "merge_run",
     "RunAllResult",

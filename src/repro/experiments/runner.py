@@ -27,7 +27,7 @@ bit-identical to an uninterrupted run.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -43,6 +43,7 @@ from .hevc_study import hevc_adder_table, hevc_multiplier_table
 from .jpeg_study import jpeg_adder_sweep, jpeg_joint_frontier
 from .kmeans_study import kmeans_adder_table, kmeans_multiplier_table
 from .multipliers_study import multiplier_comparison
+from .search_study import fft_heterogeneous_search
 
 
 @dataclass
@@ -94,15 +95,22 @@ class ExperimentSpec:
     build: Callable[[RunConfig], ExperimentResult]
     #: Extension ablations are skipped by ``include_ablations=False``.
     ablation: bool = False
+    #: Adaptive experiments cannot be partitioned by sweep index — their
+    #: candidate schedule depends on earlier results.  Sharded runs execute
+    #: them whole on shard 0 only; the merge passes the single result
+    #: through, so the folded bundle still matches an unsharded run.
+    shardable: bool = True
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {}
 
 
-def _register(name: str, title: str, ablation: bool = False):
+def _register(name: str, title: str, ablation: bool = False,
+              shardable: bool = True):
     def decorator(build: Callable[[RunConfig], ExperimentResult]):
         EXPERIMENTS[name] = ExperimentSpec(name=name, title=title,
-                                           build=build, ablation=ablation)
+                                           build=build, ablation=ablation,
+                                           shardable=shardable)
         return build
     return decorator
 
@@ -205,6 +213,14 @@ def _build_kmeans_multipliers(cfg: RunConfig) -> ExperimentResult:
                                    energy_model=cfg.energy_model,
                                    workers=cfg.workers, backend=cfg.backend,
                                    store=cfg.store, shard=cfg.shard)
+
+
+@_register("fft_heterogeneous_search",
+           "Per-stage heterogeneous FFT datapaths found adaptively (search)",
+           shardable=False)
+def _build_heterogeneous_search(cfg: RunConfig) -> ExperimentResult:
+    return fft_heterogeneous_search(reduced=cfg.reduced, workers=cfg.workers,
+                                    backend=cfg.backend, store=cfg.store)
 
 
 @_register("ablation_compensation",
@@ -318,8 +334,12 @@ def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
     ``shard`` (``"i/n"`` or ``(i, n)``) runs only the ``i``-th deterministic
     slice of every experiment's design points; :func:`merge_run` folds the
     ``n`` partial outputs back into a whole that is bit-identical to an
-    unsharded run.  ``experiments`` selects a subset of the suite by
-    registry name (see :func:`experiment_names`).
+    unsharded run.  Experiments whose candidate schedule is adaptive
+    (``shardable`` false in the registry, e.g. the heterogeneous search)
+    have no index partition: shard 0 runs them whole and the other shards
+    skip them, which the merge folds back losslessly.  ``experiments``
+    selects a subset of the suite by registry name (see
+    :func:`experiment_names`).
     """
     shard_pair = parse_shard(shard)
     store = ResultStore.of(store)
@@ -329,6 +349,13 @@ def run_all(output_dir: Optional[Union[str, Path]] = None, reduced: bool = True,
     bundle = RunAllResult(shard=shard_pair, backend=backend_spec(backend),
                           reduced=reduced)
     for spec in select_experiments(experiments, include_ablations):
+        if shard_pair is not None and not spec.shardable:
+            # Adaptive experiments have no index partition; shard 0 runs
+            # them whole (unsharded config) and the other shards skip them.
+            if shard_pair[0] != 0:
+                continue
+            bundle.add(spec.build(replace(config, shard=None)))
+            continue
         bundle.add(spec.build(config))
     if output_dir is not None:
         bundle.save_all(output_dir)

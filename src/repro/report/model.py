@@ -15,6 +15,7 @@ Model shape::
       "summary": {"experiments", "rows", "fronts", "front_points"},
       "experiments": [
         {"name", "description", "rows", "columns",
+         "search": {"strategy", "space_size", "evaluations", ...}|None,
          "fronts": [
            {"key", "quality", "cost", "evaluated",
             "points": [{"cost", "quality", "label"}],     # the front
@@ -39,7 +40,15 @@ LABEL_COLUMNS = ("operator", "adder", "multiplier", "name", "mode")
 
 
 def point_label(row: Dict[str, object]) -> str:
-    """A short identity for one sweep row (operator mnemonic, usually)."""
+    """A short identity for one sweep row (operator mnemonic, usually).
+
+    A heterogeneous search row's ``genome`` — its whole per-stage operator
+    assignment — *is* the identity, so it wins over the homogeneous
+    columns (whose ``operator`` would misleadingly name only one stage).
+    """
+    genome = row.get("genome")
+    if isinstance(genome, str) and genome:
+        return genome
     parts = []
     for column in LABEL_COLUMNS:
         value = row.get(column)
@@ -151,11 +160,13 @@ def dashboard_model(bundle: ResultBundle,
         total_rows += len(result.rows)
         total_fronts += len(fronts)
         total_front_points += sum(len(front["points"]) for front in fronts)
+        search = result.metadata.get("search")
         experiments.append({
             "name": name,
             "description": result.description,
             "rows": len(result.rows),
             "columns": list(result.columns),
+            "search": dict(search) if isinstance(search, dict) else None,
             "fronts": fronts,
         })
     return {

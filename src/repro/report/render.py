@@ -307,6 +307,20 @@ def render_dashboard(model: Dict[str, object]) -> str:
         parts.append(f"<p class='legend'>"
                      f"{html.escape(str(experiment['description']))} — "
                      f"{experiment['rows']} rows</p>")
+        search = experiment.get("search")
+        if isinstance(search, dict):
+            parts.append(
+                "<p class='legend'>front discovered by adaptive search — "
+                "the cloud is every candidate the driver evaluated, not "
+                "an enumeration of the space</p>")
+            parts.append(_tiles([
+                ("search strategy", search.get("strategy", "?")),
+                ("candidates evaluated", search.get("evaluations")),
+                ("design space size", search.get("space_size")),
+                ("full-density cost units", search.get("cost_units")),
+                ("frontier points found", search.get("front_points")),
+                ("served warm from store", search.get("store_hits")),
+            ]))
         for front in experiment["fronts"]:
             parts.append(_scatter_svg(front))
             parts.append(_front_table(front))

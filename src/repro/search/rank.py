@@ -1,0 +1,111 @@
+"""Multi-objective ranking primitives: non-dominated sort + crowding.
+
+These are the NSGA-II building blocks both search drivers share — the
+successive-halving rung ranks its reduced-stimulus candidates with them, and
+the evolutionary loop uses them for environmental selection and tournaments.
+Everything here is pure and deterministic: objective vectors in, index
+structures out, with explicit index tie-breaks so equal candidates sort
+identically on every platform.
+
+Objectives are *minimised*; callers negate maximised axes (the evaluator's
+``objectives`` helper does this for the quality axis).
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+ObjectiveVector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Strict Pareto dominance under minimisation: ``a`` beats ``b``."""
+    at_least_as_good = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def non_dominated_sort(objectives: Sequence[ObjectiveVector]
+                       ) -> List[List[int]]:
+    """Partition indices into non-domination fronts (rank 0 first).
+
+    The classic fast non-dominated sort: front 0 is the set of candidates no
+    other candidate dominates; front ``r + 1`` is what becomes non-dominated
+    once fronts ``0..r`` are removed.  Each front lists its member indices in
+    ascending order, so the output is a pure function of the objective
+    vectors — independent of dict/set iteration order.
+    """
+    count = len(objectives)
+    dominated_by: List[List[int]] = [[] for _ in range(count)]
+    domination_count = [0] * count
+    for i in range(count):
+        for j in range(i + 1, count):
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(objectives[j], objectives[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(count) if domination_count[i] == 0]
+    while current:
+        fronts.append(sorted(current))
+        upcoming: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    upcoming.append(j)
+        current = upcoming
+    return fronts
+
+
+def crowding_distance(objectives: Sequence[ObjectiveVector],
+                      front: Sequence[int]) -> Dict[int, float]:
+    """NSGA-II crowding distance of one front's members.
+
+    Boundary members of every objective get infinite distance; interior
+    members accumulate the normalised gap between their neighbours.  Ties on
+    an objective sort by index, so the distances are deterministic even when
+    candidates coincide.
+    """
+    members = list(front)
+    distance = {index: 0.0 for index in members}
+    if len(members) <= 2:
+        return {index: float("inf") for index in members}
+    dimensions = len(objectives[members[0]])
+    for axis in range(dimensions):
+        ordered = sorted(members, key=lambda i: (objectives[i][axis], i))
+        low = objectives[ordered[0]][axis]
+        high = objectives[ordered[-1]][axis]
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        span = high - low
+        if span <= 0.0:
+            continue
+        for position in range(1, len(ordered) - 1):
+            index = ordered[position]
+            if distance[index] == float("inf"):
+                continue
+            gap = (objectives[ordered[position + 1]][axis]
+                   - objectives[ordered[position - 1]][axis])
+            distance[index] += gap / span
+    return distance
+
+
+def ranked_order(objectives: Sequence[ObjectiveVector]) -> List[int]:
+    """All indices ordered best-first by (front rank, -crowding, index).
+
+    The canonical NSGA-II total order: earlier fronts first, sparser regions
+    first within a front, ascending index as the final deterministic
+    tie-break.  Both drivers use it — halving to pick rung survivors, the
+    evolutionary loop for environmental selection.
+    """
+    fronts = non_dominated_sort(objectives)
+    rank: Dict[int, int] = {}
+    crowding: Dict[int, float] = {}
+    for front_rank, members in enumerate(fronts):
+        crowding.update(crowding_distance(objectives, members))
+        for index in members:
+            rank[index] = front_rank
+    return sorted(range(len(objectives)),
+                  key=lambda i: (rank[i], -crowding[i], i))

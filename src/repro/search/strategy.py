@@ -1,0 +1,72 @@
+"""SearchStrategy protocol and the outcome both drivers emit.
+
+A strategy is anything with a ``name`` and a ``search(evaluator)`` method
+returning a :class:`SearchOutcome`.  Determinism contract: given the same
+seed, a strategy must propose the same candidates in the same order — all
+randomness comes from one ``random.Random(seed)`` stream, and no wall-clock
+or set-iteration order may influence the schedule.  Combined with the
+evaluator's bit-deterministic rows, that makes a whole search replayable:
+one seed, one result, on any machine.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from ..core.results import ParetoFront
+from .evaluator import SearchEvaluator
+
+
+@dataclass
+class SearchOutcome:
+    """What a search produced, plus its honest evaluation accounting.
+
+    ``rows`` are the full-density rows of every candidate the search
+    evaluated (in evaluation order — the dashboard's cloud); ``front`` is
+    their Pareto front.  ``evaluations`` counts candidate simulations
+    submitted (reduced rungs included), ``cost_units`` the
+    full-density-equivalent work, and ``rounds`` the per-round candidate
+    schedule — which is what the determinism tests compare across seeds.
+    """
+
+    strategy: str
+    front: ParetoFront
+    rows: List[Dict[str, object]]
+    evaluations: int
+    fresh_evaluations: int
+    store_hits: int
+    cost_units: float
+    space_size: Optional[int] = None
+    rounds: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """One JSON-plain document (bit-identical across identical runs
+        except for ``store_hits`` / ``fresh_evaluations``, which reflect
+        how warm the store was)."""
+        return {
+            "strategy": self.strategy,
+            "quality": self.front.quality_column,
+            "cost": self.front.cost_column,
+            "evaluations": self.evaluations,
+            "fresh_evaluations": self.fresh_evaluations,
+            "store_hits": self.store_hits,
+            "cost_units": self.cost_units,
+            "space_size": self.space_size,
+            "front": self.front.to_dict(),
+            "rounds": [dict(entry) for entry in self.rounds],
+        }
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """Anything that can drive a :class:`SearchEvaluator` to a front."""
+
+    name: str
+
+    def search(self, evaluator: SearchEvaluator) -> SearchOutcome:
+        """Explore and return the outcome (front + accounting)."""
+        ...  # pragma: no cover - protocol
+
+
+#: CLI / registry names of the built-in drivers.
+STRATEGY_NAMES = ("halving", "nsga2")

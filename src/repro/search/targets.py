@@ -1,0 +1,185 @@
+"""Named search targets: space + workload + objectives, CLI-addressable.
+
+A target bundles everything ``repro search`` needs: which workload to run
+(with reduced/full stimulus densities following the experiment runner's
+convention), which space to explore, which axes to optimise, and how to
+build each driver for it.  Keeping the recipes here — rather than in the
+CLI — means the CI gates, the benchmarks and the experiment registry all
+search exactly the same configurations.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..core.datapath import DatapathEnergyModel
+from ..core.designspace import (
+    DesignSpace,
+    approximate_adder_axis,
+    joint_adder_space,
+)
+from ..core.exploration import (
+    sweep_aca_adders,
+    sweep_etaii_adders,
+    sweep_etaiv_adders,
+    sweep_rcaapx_adders,
+)
+from ..core.store import ResultStore, StoreLike
+from ..core.study import Study
+from .evolutionary import EvolutionarySearch
+from .genes import GeneSpace, per_pass_dct_space, per_stage_fft_space
+from .halving import SuccessiveHalving
+from .strategy import SearchStrategy
+
+
+@dataclass(frozen=True)
+class SearchTarget:
+    """One named, reproducible search setup."""
+
+    name: str
+    title: str
+    workload: str
+    #: Stimulus densities by mode (overlaid on the workload's defaults).
+    full_config: Tuple[Tuple[str, object], ...]
+    reduced_config: Tuple[Tuple[str, object], ...]
+    quality: str
+    cost: str
+    #: Reduced-stimulus overlay of the halving rung.
+    rung_density: Tuple[Tuple[str, object], ...] = (("frames", 1),)
+    #: Halving promotion knobs (see :class:`SuccessiveHalving`).
+    halving_keep: float = 0.15
+    halving_rank_slack: int = 1
+    #: Whether the space is small enough to enumerate exhaustively (which
+    #: is what the CI recall gate needs).
+    enumerable: bool = False
+    default_strategy: str = "nsga2"
+
+    def config(self, reduced: bool = False) -> Dict[str, object]:
+        return dict(self.reduced_config if reduced else self.full_config)
+
+    def space(self) -> Union[DesignSpace, GeneSpace]:
+        return _SPACES[self.name]()
+
+    def study(self, reduced: bool = False,
+              backend: str = "direct",
+              store: Optional[StoreLike] = None,
+              seed: int = 7) -> Study:
+        study = (Study()
+                 .workload(self.workload, **self.config(reduced))
+                 .energy(DatapathEnergyModel())
+                 .backend(backend)
+                 .seed(int(seed))
+                 .pareto(quality=self.quality, cost=self.cost))
+        if store is not None:
+            study.store(ResultStore.of(store))
+        return study
+
+    def strategy(self, name: Optional[str] = None, seed: int = 7,
+                 budget: Optional[int] = None,
+                 population: Optional[int] = None,
+                 generations: Optional[int] = None) -> SearchStrategy:
+        """Build a driver for this target (defaults tuned per target)."""
+        chosen = name or self.default_strategy
+        if chosen == "halving":
+            if not self.enumerable:
+                raise ValueError(
+                    f"target {self.name!r} is not enumerable; successive "
+                    f"halving needs a finite DesignSpace — use nsga2")
+            return SuccessiveHalving(self.space(), seed=seed, budget=budget,
+                                     keep=self.halving_keep,
+                                     rank_slack=self.halving_rank_slack,
+                                     reduced=dict(self.rung_density))
+        if chosen == "nsga2":
+            kwargs: Dict[str, int] = {}
+            if population is not None:
+                kwargs["population"] = population
+            if generations is not None:
+                kwargs["generations"] = generations
+            return EvolutionarySearch(self.space(), seed=seed, budget=budget,
+                                      **kwargs)
+        raise ValueError(f"unknown strategy {chosen!r}; "
+                         f"known: halving, nsga2")
+
+
+def gated_fft_space() -> DesignSpace:
+    """The CI-gated enumerable space: joint sizing versus the full zoo.
+
+    A step-2 careful-sizing axis (truncated and rounded, 3–15 bit outputs)
+    joined with *every* approximate adder family the operator registry
+    knows — ACA, ETAII, ETAIV and all three RCAApx cell types across their
+    whole parameter ranges — 78 configurations in total.  Small enough to
+    sweep exhaustively for the recall gate, rich enough that a search
+    recovering the exact front at ≲31% of the evaluations is meaningful.
+    """
+    zoo = (sweep_aca_adders(16) + sweep_etaii_adders(16)
+           + sweep_etaiv_adders(16) + sweep_rcaapx_adders(16))
+    return (joint_adder_space(16, sized_widths=[15, 13, 11, 9, 7, 5, 3])
+            + approximate_adder_axis(16, adders=zoo))
+
+
+_SPACES = {
+    "fft_joint": gated_fft_space,
+    "fft_per_stage": lambda: per_stage_fft_space(size=64),
+    "dct_per_pass": lambda: per_pass_dct_space(),
+}
+
+#: The CI-gated enumerable target (see :func:`gated_fft_space`) on the
+#: 32-point FFT.  ``rank_slack=0`` is validated by the CI recall gate: the
+#: frames-1 rung's non-dominated set provably covers the full-density
+#: front on this space, which is what keeps the search at ~31% of the
+#: exhaustive evaluation cost.
+FFT_JOINT = SearchTarget(
+    name="fft_joint",
+    title="Joint sized-vs-approximate adder space on the 32-point FFT",
+    workload="fft",
+    full_config=(("size", 32), ("frames", 16)),
+    reduced_config=(("size", 32), ("frames", 8)),
+    quality="psnr_db",
+    cost="total_energy_pj",
+    rung_density=(("frames", 1),),
+    halving_keep=0.15,
+    halving_rank_slack=0,
+    enumerable=True,
+    default_strategy="halving",
+)
+
+#: The heterogeneous flagship: one adder per stage of a 64-point FFT —
+#: ``12^6`` (~3 million) candidate datapaths, unenumerable by design.
+FFT_PER_STAGE = SearchTarget(
+    name="fft_per_stage",
+    title="Per-stage heterogeneous adder assignment on the 64-point FFT",
+    workload="fft",
+    full_config=(("size", 64), ("frames", 8)),
+    reduced_config=(("size", 64), ("frames", 2)),
+    quality="psnr_db",
+    cost="total_energy_pj",
+    enumerable=False,
+    default_strategy="nsga2",
+)
+
+#: Per-pass heterogeneous DCT inside the JPEG encoder (row pass versus
+#: column pass), the paper's second application.
+DCT_PER_PASS = SearchTarget(
+    name="dct_per_pass",
+    title="Per-pass heterogeneous adder assignment in the JPEG DCT",
+    workload="jpeg",
+    full_config=(("size", 96), ("frames", 1)),
+    reduced_config=(("size", 48), ("frames", 1)),
+    quality="mssim",
+    cost="total_energy_pj",
+    enumerable=False,
+    default_strategy="nsga2",
+)
+
+SEARCH_TARGETS: Mapping[str, SearchTarget] = {
+    target.name: target
+    for target in (FFT_JOINT, FFT_PER_STAGE, DCT_PER_PASS)
+}
+
+
+def get_target(name: str) -> SearchTarget:
+    try:
+        return SEARCH_TARGETS[name]
+    except KeyError:
+        raise ValueError(f"unknown search target {name!r}; known: "
+                         f"{', '.join(sorted(SEARCH_TARGETS))}") from None

@@ -2,11 +2,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..apps.fft import FixedPointFFT, random_q15_signal
+from ..core.context import ApproxContext
 from ..metrics.signal import psnr_db
 from .base import OperatorMap, Workload, WorkloadResult
 
@@ -39,13 +40,20 @@ class FftWorkload(Workload):
     #: ``False`` replays the seed-style per-twiddle loops (bit-identical;
     #: kept for equivalence tests and as the benchmark baseline).
     fused: bool = True
+    #: Heterogeneous datapath: one adder spec string per ``log2(size)``
+    #: stage (``None`` keeps the homogeneous operator map).  When set, the
+    #: operator map's adder slot must be empty — the stages own their
+    #: operators — and the result's details carry the per-stage adder
+    #: names and analytic per-stage operation counts for the search's
+    #: stage-by-stage energy accounting.
+    stage_adders: Optional[Tuple[str, ...]] = None
 
     name = "fft"
 
     def default_config(self) -> Dict[str, object]:
         return {"size": self.size, "data_width": self.data_width,
                 "frames": self.frames, "amplitude": self.amplitude,
-                "fused": self.fused}
+                "fused": self.fused, "stage_adders": self.stage_adders}
 
     def run(self, operators: OperatorMap, config: Mapping[str, object],
             rng: np.random.Generator) -> WorkloadResult:
@@ -58,6 +66,27 @@ class FftWorkload(Workload):
                                      seed=base_seed + frame,
                                      frac_bits=width - 1)
                    for frame in range(int(config["frames"]))]
+        stage_adders = config.get("stage_adders")
+        if stage_adders:
+            if operators.adder is not None:
+                raise ValueError(
+                    "stage_adders assigns one adder per FFT stage; sweep "
+                    "heterogeneous points on the bare-operator axis instead "
+                    "of injecting an adder into the operator map")
+            names = [str(name) for name in stage_adders]
+            contexts = [ApproxContext(adder=name, data_width=width,
+                                      backend=operators.backend)
+                        for name in names]
+            fft = FixedPointFFT(size, width, stage_contexts=contexts,
+                                fused=bool(config["fused"]))
+            psnr = fft_output_psnr(fft, signals)
+            stage_counts = [[counts.additions, counts.multiplications]
+                            for counts in fft.stage_operation_counts()]
+            return WorkloadResult(
+                metrics={"psnr_db": psnr},
+                counts=fft.operation_counts(),
+                details={"stage_adders": names,
+                         "stage_counts": stage_counts})
         fft = FixedPointFFT(size, width,
                             context=operators.context(data_width=width),
                             fused=bool(config["fused"]))

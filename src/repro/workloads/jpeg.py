@@ -9,6 +9,7 @@ import numpy as np
 
 from ..apps.images import synthetic_image
 from ..apps.jpeg import JpegEncoder
+from ..core.context import ApproxContext
 from ..metrics.image import mssim
 from .base import OperatorMap, Workload, WorkloadResult
 
@@ -53,13 +54,20 @@ class JpegWorkload(Workload):
     #: ``False`` replays the seed-style per-coefficient DCT loops
     #: (bit-identical; kept for equivalence tests and benchmarks).
     fused: bool = True
+    #: Heterogeneous datapath: one adder spec string per DCT matrix pass
+    #: (row pass, column pass; ``None`` keeps the homogeneous operator
+    #: map).  When set, the operator map's adder slot must be empty — the
+    #: passes own their operators — and the result's details carry the
+    #: per-pass adder names and measured per-pass operation counts.
+    pass_adders: Optional[Tuple[str, str]] = None
 
     name = "jpeg"
 
     def default_config(self) -> Dict[str, object]:
         return {"size": self.size, "quality": self.quality,
                 "frames": self.frames, "image": self.image,
-                "data_width": self.data_width, "fused": self.fused}
+                "data_width": self.data_width, "fused": self.fused,
+                "pass_adders": self.pass_adders}
 
     def run(self, operators: OperatorMap, config: Mapping[str, object],
             rng: np.random.Generator) -> WorkloadResult:
@@ -68,10 +76,23 @@ class JpegWorkload(Workload):
         base_seed = int(config.get("seed", 0))
         fixed_image = config.get("image")
         width = int(config["data_width"])
+        pass_adders = config.get("pass_adders")
+        pass_contexts = None
+        if pass_adders:
+            if operators.adder is not None:
+                raise ValueError(
+                    "pass_adders assigns one adder per DCT pass; sweep "
+                    "heterogeneous points on the bare-operator axis instead "
+                    "of injecting an adder into the operator map")
+            pass_names = [str(name) for name in pass_adders]
+            pass_contexts = [ApproxContext(adder=name, data_width=width,
+                                           backend=operators.backend)
+                             for name in pass_names]
         encoder = JpegEncoder(quality=quality,
                               context=operators.context(data_width=width),
                               data_width=width,
-                              fused=bool(config["fused"]))
+                              fused=bool(config["fused"]),
+                              pass_contexts=pass_contexts)
 
         scores = []
         total_bits = 0
@@ -90,9 +111,19 @@ class JpegWorkload(Workload):
             total_pixels += int(image.size)
             counts = outcome.counts if counts is None \
                 else counts + outcome.counts
+        details: Dict[str, object] = {"image_pixels": total_pixels,
+                                      "frames": frames}
+        if pass_contexts is not None:
+            # Measured per-pass inventory (summed over frames), keyed the
+            # same way the FFT's per-stage details are so the search's
+            # heterogeneous energy accounting is workload-agnostic.
+            details["stage_adders"] = pass_names
+            details["stage_counts"] = [
+                [ctx.counts.additions, ctx.counts.multiplications]
+                for ctx in pass_contexts]
         return WorkloadResult(
             metrics={"mssim": float(np.mean(scores)),
                      "estimated_bits": float(total_bits)},
             counts=counts,
-            details={"image_pixels": total_pixels, "frames": frames},
+            details=details,
         )

@@ -159,6 +159,46 @@ def test_bench_times_backends_and_checks_identity(capsys, tmp_path):
 
 
 # --------------------------------------------------------------------------- #
+# search
+# --------------------------------------------------------------------------- #
+def test_search_json_contract_and_store_replay(capsys, tmp_path):
+    front_out = tmp_path / "front.json"
+    argv = ["search", "dct_per_pass", "--seed", "3", "--population", "6",
+            "--generations", "1", "--store", str(tmp_path / "store"),
+            "--front-out", str(front_out)]
+    status, document, _ = run_cli(capsys, *argv)
+    assert status == 0
+    assert document["command"] == "search"
+    assert document["target"] == "dct_per_pass"
+    assert document["strategy"] == "nsga2"
+    assert document["space_size"] == 144
+    assert document["evaluations"] > 0
+    assert document["front"]["points"]
+    assert json.loads(front_out.read_text()) == document["front"]
+
+    # Same seed against the same store: replayed warm, bit-identical.
+    status, again, _ = run_cli(capsys, *argv)
+    assert status == 0
+    assert again["store_hits"] == again["evaluations"]
+    assert again["fresh_evaluations"] == 0
+    assert again["front"] == document["front"]
+    assert again["rounds"] == document["rounds"]
+
+
+def test_search_gates_need_an_enumerable_target(capsys):
+    status, _, err = run_cli(capsys, "search", "fft_per_stage",
+                             "--gate-exhaustive")
+    assert status == 2
+    assert "not enumerable" in err
+
+
+def test_search_unknown_target_fails_cleanly(capsys):
+    status, _, err = run_cli(capsys, "search", "no_such_target")
+    assert status == 2
+    assert "unknown search target" in err
+
+
+# --------------------------------------------------------------------------- #
 # README --help sync
 # --------------------------------------------------------------------------- #
 def readme_cli_section() -> str:

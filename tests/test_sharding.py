@@ -52,8 +52,8 @@ def test_experiment_registry_covers_the_whole_suite():
         "table2_fft_multipliers", "fft_joint_frontier", "fig6_jpeg",
         "jpeg_joint_frontier", "table3_hevc_adders",
         "table4_hevc_multipliers", "table5_kmeans_adders",
-        "table6_kmeans_multipliers", "ablation_compensation",
-        "ablation_rounding_mode",
+        "table6_kmeans_multipliers", "fft_heterogeneous_search",
+        "ablation_compensation", "ablation_rounding_mode",
     ]
     assert experiment_names(include_ablations=False) == \
         experiment_names()[:-2]

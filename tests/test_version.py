@@ -1,0 +1,29 @@
+"""The package version is declared twice; the two must never drift.
+
+``pyproject.toml`` is what packaging tools see, ``repro.__version__`` is
+what run manifests, bench documents and the dashboard stamp — a drift
+means artifacts claim a version pip never shipped.
+"""
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def pyproject_version() -> str:
+    # Regex rather than a TOML parser: the floor is Python 3.9, which has
+    # no stdlib tomllib.
+    match = re.search(r'^version\s*=\s*"([^"]+)"', PYPROJECT.read_text(),
+                      flags=re.MULTILINE)
+    assert match, "pyproject.toml declares no version"
+    return match.group(1)
+
+
+def test_package_version_matches_pyproject():
+    assert repro.__version__ == pyproject_version()
+
+
+def test_version_is_semver_shaped():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
